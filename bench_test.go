@@ -1,0 +1,322 @@
+// Package repro's root benchmark suite: one testing.B benchmark per figure
+// of the paper's evaluation (there are no numbered tables in the paper; the
+// evaluation is Figures 4, 5 and 7–13), plus ablation benchmarks for the
+// design choices called out in DESIGN.md. Figure benchmarks run the
+// corresponding experiment harness at a reduced, fixed scale and report the
+// headline quantity as a custom metric, so `go test -bench .` both exercises
+// the full pipeline and prints the reproduction's shape.
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+	"repro/internal/lp"
+	"repro/internal/nncell"
+	"repro/internal/pager"
+	"repro/internal/rtree"
+	"repro/internal/vec"
+	"repro/internal/xtree"
+)
+
+// benchCfg is the fixed, small experiment scale used by the figure benches.
+func benchCfg() experiments.Config {
+	return experiments.Config{
+		N:       1000,
+		SmallN:  150,
+		Dims:    []int{4, 8},
+		Sizes:   []int{500, 1000},
+		Queries: 100,
+		Seed:    1998,
+	}
+}
+
+func runFigure(b *testing.B, run experiments.Runner, metric func(*experiments.Table) (float64, string)) {
+	b.Helper()
+	cfg := benchCfg()
+	var last *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t, err := run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	if metric != nil && last != nil {
+		v, unit := metric(last)
+		b.ReportMetric(v, unit)
+	}
+}
+
+func lastFloat(tb *experiments.Table, col int) float64 {
+	row := tb.Rows[len(tb.Rows)-1]
+	v, err := strconv.ParseFloat(row[col], 64)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// BenchmarkFig4Approximation regenerates Figure 4 (build time and overlap of
+// the four approximation algorithms) and reports the final overlap value.
+func BenchmarkFig4Approximation(b *testing.B) {
+	runFigure(b, experiments.Fig4, func(tb *experiments.Table) (float64, string) {
+		return lastFloat(tb, 3), "overlap"
+	})
+}
+
+// BenchmarkFig5QualityPerf regenerates Figure 5 (quality-to-performance).
+func BenchmarkFig5QualityPerf(b *testing.B) {
+	runFigure(b, experiments.Fig5, nil)
+}
+
+// BenchmarkFig7SearchTime regenerates Figure 7 (total search time by
+// structure and dimension).
+func BenchmarkFig7SearchTime(b *testing.B) {
+	runFigure(b, experiments.Fig7, nil)
+}
+
+// BenchmarkFig8Speedup regenerates Figure 8 and reports the highest-dimension
+// speed-up of NN-cell over the R*-tree in percent.
+func BenchmarkFig8Speedup(b *testing.B) {
+	runFigure(b, experiments.Fig8, func(tb *experiments.Table) (float64, string) {
+		return lastFloat(tb, 3), "%speedup"
+	})
+}
+
+// BenchmarkFig9PagesCPU regenerates Figure 9 (page accesses vs CPU time).
+func BenchmarkFig9PagesCPU(b *testing.B) {
+	runFigure(b, experiments.Fig9, nil)
+}
+
+// BenchmarkFig10DBSize regenerates Figure 10 (scaling with database size).
+func BenchmarkFig10DBSize(b *testing.B) {
+	runFigure(b, experiments.Fig10, nil)
+}
+
+// BenchmarkFig11Fourier regenerates Figure 11 (Fourier data, total time).
+func BenchmarkFig11Fourier(b *testing.B) {
+	runFigure(b, experiments.Fig11, nil)
+}
+
+// BenchmarkFig12FourierPagesCPU regenerates Figure 12 (Fourier data, pages
+// vs CPU).
+func BenchmarkFig12FourierPagesCPU(b *testing.B) {
+	runFigure(b, experiments.Fig12, nil)
+}
+
+// BenchmarkFig13Decomposition regenerates Figure 13 and reports the
+// decomposed overlap at the highest dimension.
+func BenchmarkFig13Decomposition(b *testing.B) {
+	runFigure(b, experiments.Fig13, func(tb *experiments.Table) (float64, string) {
+		return lastFloat(tb, 2), "overlap"
+	})
+}
+
+// --- Ablations -----------------------------------------------------------
+
+// BenchmarkAblationDecompK varies the fragment budget k and reports the
+// approximation volume sum (lower = tighter approximations).
+func BenchmarkAblationDecompK(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	pts := dataset.Deduplicate(dataset.Diagonal(rng, 300, 6, 0.02))
+	for _, k := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			var vol float64
+			for i := 0; i < b.N; i++ {
+				ix, err := nncell.Build(pts, vec.UnitCube(6), pager.New(pager.Config{}), nncell.Options{
+					Algorithm: nncell.Correct,
+					Decompose: k,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				vol = ix.ApproxVolumeSum()
+			}
+			b.ReportMetric(vol, "volume-sum")
+		})
+	}
+}
+
+// BenchmarkAblationObliqueness compares the two decomposition heuristics.
+func BenchmarkAblationObliqueness(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	pts := dataset.Deduplicate(dataset.Diagonal(rng, 300, 6, 0.02))
+	for _, h := range []struct {
+		name string
+		o    nncell.ObliquenessHeuristic
+	}{{"volume-greedy", nncell.VolumeGreedy}, {"extent", nncell.ExtentBased}} {
+		b.Run(h.name, func(b *testing.B) {
+			var vol float64
+			for i := 0; i < b.N; i++ {
+				ix, err := nncell.Build(pts, vec.UnitCube(6), pager.New(pager.Config{}), nncell.Options{
+					Algorithm:   nncell.Correct,
+					Decompose:   8,
+					Obliqueness: h.o,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				vol = ix.ApproxVolumeSum()
+			}
+			b.ReportMetric(vol, "volume-sum")
+		})
+	}
+}
+
+// BenchmarkAblationMaxOverlap varies the X-tree supernode threshold and
+// reports query page accesses on clustered rectangle data.
+func BenchmarkAblationMaxOverlap(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	pts := dataset.Deduplicate(dataset.Clustered(rng, 3000, 12, 10, 0.05))
+	qs := dataset.Uniform(rand.New(rand.NewSource(8)), 200, 12)
+	for _, mo := range []float64{0.05, 0.2, 0.5} {
+		b.Run(fmt.Sprintf("maxOverlap=%.2f", mo), func(b *testing.B) {
+			var perQuery float64
+			for i := 0; i < b.N; i++ {
+				pg := pager.New(pager.Config{CachePages: 64})
+				tr := xtree.New(12, pg, xtree.Options{MaxOverlap: mo})
+				for j, p := range pts {
+					tr.Insert(vec.PointRect(p), int64(j))
+				}
+				pg.ResetStats()
+				for _, q := range qs {
+					tr.NearestNeighbor(q)
+				}
+				perQuery = float64(pg.Stats().Accesses) / float64(len(qs))
+			}
+			b.ReportMetric(perQuery, "pages/query")
+		})
+	}
+}
+
+// BenchmarkAblationCache varies the LRU budget and reports the miss rate of
+// NN-cell queries.
+func BenchmarkAblationCache(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	pts := dataset.Deduplicate(dataset.Uniform(rng, 2000, 8))
+	qs := dataset.Uniform(rand.New(rand.NewSource(10)), 300, 8)
+	for _, cache := range []int{0, 16, 64, 256} {
+		b.Run(fmt.Sprintf("cache=%d", cache), func(b *testing.B) {
+			pg := pager.New(pager.Config{CachePages: cache})
+			ix, err := nncell.Build(pts, vec.UnitCube(8), pg, nncell.Options{Algorithm: nncell.Sphere})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var missRate float64
+			for i := 0; i < b.N; i++ {
+				pg.ResetStats()
+				for _, q := range qs {
+					if _, err := ix.NearestNeighbor(q); err != nil {
+						b.Fatal(err)
+					}
+				}
+				s := pg.Stats()
+				if s.Accesses > 0 {
+					missRate = float64(s.Misses) / float64(s.Accesses)
+				}
+			}
+			b.ReportMetric(missRate, "miss-rate")
+		})
+	}
+}
+
+// BenchmarkAblationReinsert measures the R*-tree with and without forced
+// reinsert (query page accesses).
+func BenchmarkAblationReinsert(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	pts := dataset.Deduplicate(dataset.Uniform(rng, 3000, 8))
+	qs := dataset.Uniform(rand.New(rand.NewSource(12)), 200, 8)
+	for _, disable := range []bool{false, true} {
+		name := "with-reinsert"
+		if disable {
+			name = "no-reinsert"
+		}
+		b.Run(name, func(b *testing.B) {
+			var perQuery float64
+			for i := 0; i < b.N; i++ {
+				pg := pager.New(pager.Config{CachePages: 64})
+				tr := rtree.New(8, pg, rtree.Options{DisableReinsert: disable})
+				for j, p := range pts {
+					tr.Insert(vec.PointRect(p), int64(j))
+				}
+				pg.ResetStats()
+				for _, q := range qs {
+					tr.NearestNeighbor(q)
+				}
+				perQuery = float64(pg.Stats().Accesses) / float64(len(qs))
+			}
+			b.ReportMetric(perQuery, "pages/query")
+		})
+	}
+}
+
+// BenchmarkAblationLPSolver compares the production dual simplex against
+// Seidel's randomized algorithm on identical NN-cell extent problems.
+func BenchmarkAblationLPSolver(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	d, m := 6, 200
+	p := &lp.Problem{NumVars: d, Lo: make([]float64, d), Hi: make([]float64, d)}
+	center := make([]float64, d)
+	for j := 0; j < d; j++ {
+		p.Hi[j] = 1
+		center[j] = 0.3 + 0.4*rng.Float64()
+	}
+	for i := 0; i < m; i++ {
+		a := make([]float64, d)
+		dot := 0.0
+		for j := 0; j < d; j++ {
+			a[j] = rng.NormFloat64()
+			dot += a[j] * center[j]
+		}
+		p.Cons = append(p.Cons, lp.Constraint{A: a, B: dot + 0.1*rng.Float64()})
+	}
+	c := make([]float64, d)
+	c[0] = 1
+	b.Run("dual-simplex", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := lp.Maximize(p, c); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("seidel", func(b *testing.B) {
+		b.ReportAllocs()
+		srng := rand.New(rand.NewSource(14))
+		for i := 0; i < b.N; i++ {
+			if _, err := lp.MaximizeSeidel(p, c, srng); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkNNCellQueryScaling reports pure query latency of the NN-cell
+// index across dimensions at fixed N.
+func BenchmarkNNCellQueryScaling(b *testing.B) {
+	for _, d := range []int{4, 8, 16} {
+		b.Run(fmt.Sprintf("d=%d", d), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(int64(d)))
+			pts := dataset.Deduplicate(dataset.Uniform(rng, 2000, d))
+			ix, err := nncell.Build(pts, vec.UnitCube(d), pager.New(pager.Config{CachePages: 64}),
+				nncell.Options{Algorithm: nncell.NNDirection})
+			if err != nil {
+				b.Fatal(err)
+			}
+			qs := dataset.Uniform(rand.New(rand.NewSource(99)), 128, d)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ix.NearestNeighbor(qs[i%len(qs)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

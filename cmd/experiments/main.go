@@ -1,0 +1,95 @@
+// Command experiments regenerates the paper's evaluation figures as text
+// tables (or CSV). Each figure of Berchtold et al., "Fast Nearest Neighbor
+// Search in High-dimensional Space" (ICDE 1998), has a runner; see
+// EXPERIMENTS.md for the paper-vs-measured record.
+//
+// Usage:
+//
+//	experiments -fig all
+//	experiments -fig fig7,fig8 -n 10000 -queries 500
+//	experiments -fig fig13 -small-n 800 -decompose 10 -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		figs      = flag.String("fig", "all", "comma-separated figure ids (fig4,fig5,fig7..fig13) or 'all'")
+		n         = flag.Int("n", 0, "database size for dimension sweeps (default 2000)")
+		smallN    = flag.Int("small-n", 0, "database size for LP-heavy figures 4/5/13 (default 400)")
+		dims      = flag.String("dims", "", "comma-separated dimension sweep (default 4,8,12,16)")
+		sizes     = flag.String("sizes", "", "comma-separated database sizes for figures 10/11/12")
+		queries   = flag.Int("queries", 0, "queries per measurement (default 200)")
+		seed      = flag.Int64("seed", 0, "random seed (default 1998)")
+		cache     = flag.Int("cache", 0, "cache budget in pages per structure (default 64)")
+		decompose = flag.Int("decompose", 0, "fragment budget for decomposition figures (default 10)")
+		csv       = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{
+		N: *n, SmallN: *smallN, Queries: *queries, Seed: *seed,
+		CachePages: *cache, Decompose: *decompose,
+	}
+	var err error
+	if cfg.Dims, err = parseInts(*dims); err != nil {
+		fatalf("bad -dims: %v", err)
+	}
+	if cfg.Sizes, err = parseInts(*sizes); err != nil {
+		fatalf("bad -sizes: %v", err)
+	}
+
+	want := map[string]bool{}
+	all := strings.TrimSpace(*figs) == "all" || *figs == ""
+	for _, id := range strings.Split(*figs, ",") {
+		want[strings.TrimSpace(id)] = true
+	}
+	ran := 0
+	for _, f := range experiments.Figures() {
+		if !all && !want[f.ID] {
+			continue
+		}
+		table, err := f.Run(cfg)
+		if err != nil {
+			fatalf("%s: %v", f.ID, err)
+		}
+		if *csv {
+			fmt.Printf("# %s: %s\n%s\n", table.ID, table.Title, table.CSV())
+		} else {
+			fmt.Println(table.String())
+		}
+		ran++
+	}
+	if ran == 0 {
+		fatalf("no figure matched %q; known ids: fig4 fig5 fig7 fig8 fig9 fig10 fig11 fig12 fig13", *figs)
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "experiments: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,196 @@
+// Command nncell builds an NN-cell index over a synthetic workload, runs a
+// query batch, and reports structural and performance statistics. It is the
+// quickest way to see the paper's approach end to end:
+//
+//	nncell -n 2000 -d 8 -alg sphere -queries 500
+//	nncell -n 1000 -d 12 -alg nndir -decompose 8
+//	nncell -demo           # 2-D ASCII NN-diagram (paper Fig. 1/2)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/nncell"
+	"repro/internal/pager"
+	"repro/internal/scan"
+	"repro/internal/stats"
+	"repro/internal/vec"
+	"repro/internal/voronoi"
+)
+
+func main() {
+	var (
+		n         = flag.Int("n", 2000, "number of data points")
+		saveFile  = flag.String("save", "", "write the built index to this file")
+		loadFile  = flag.String("load", "", "load the index from this file instead of building")
+		d         = flag.Int("d", 8, "dimensionality")
+		data      = flag.String("data", "uniform", "dataset: uniform|grid|diagonal|clustered|fourier")
+		alg       = flag.String("alg", "sphere", "approximation algorithm: correct|point|sphere|nndir")
+		decompose = flag.Int("decompose", 0, "fragment budget per cell (0 = no decomposition)")
+		queries   = flag.Int("queries", 500, "number of nearest-neighbor queries")
+		seed      = flag.Int64("seed", 1, "random seed")
+		cache     = flag.Int("cache", 64, "cache budget in pages")
+		verify    = flag.Bool("verify", true, "verify every answer against a sequential scan")
+		demo      = flag.Bool("demo", false, "render a 2-D ASCII NN-diagram and exit")
+	)
+	flag.Parse()
+
+	if *demo {
+		runDemo(*seed)
+		return
+	}
+
+	algorithm, err := parseAlg(*alg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	pts, err := dataset.Generate(dataset.Name(*data), rng, *n, *d)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	pts = dataset.Deduplicate(pts)
+
+	pg := pager.New(pager.Config{CachePages: *cache})
+	var (
+		ix        *nncell.Index
+		buildTime time.Duration
+	)
+	if *loadFile != "" {
+		f, err := os.Open(*loadFile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		start := time.Now()
+		ix, err = nncell.Load(f, pg)
+		f.Close()
+		if err != nil {
+			fatalf("load: %v", err)
+		}
+		buildTime = time.Since(start)
+		if ix.Dim() != *d {
+			fmt.Printf("note: loaded index is %d-dimensional; overriding -d\n", ix.Dim())
+			*d = ix.Dim()
+		}
+		// Verification needs the live point set.
+		pts = pts[:0]
+		for _, id := range ix.IDs() {
+			p, _ := ix.Point(id)
+			pts = append(pts, p)
+		}
+		fmt.Printf("loaded NN-cell index from %s: %d points, d=%d\n", *loadFile, ix.Len(), ix.Dim())
+	} else {
+		fmt.Printf("building NN-cell index: %d %s points, d=%d, algorithm=%v, decompose=%d\n",
+			len(pts), *data, *d, algorithm, *decompose)
+		start := time.Now()
+		var err error
+		ix, err = nncell.Build(pts, vec.UnitCube(*d), pg, nncell.Options{
+			Algorithm: algorithm,
+			Decompose: *decompose,
+		})
+		if err != nil {
+			fatalf("build: %v", err)
+		}
+		buildTime = time.Since(start)
+	}
+	if *saveFile != "" {
+		f, err := os.Create(*saveFile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := ix.Save(f); err != nil {
+			fatalf("save: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("save: %v", err)
+		}
+		st, _ := os.Stat(*saveFile)
+		fmt.Printf("saved index to %s (%d bytes)\n", *saveFile, st.Size())
+	}
+	bs := ix.Stats()
+	fmt.Printf("build: %v  (%d LP solves, %d pivots, %d fragments, X-tree height %d, %d supernodes)\n",
+		buildTime.Round(time.Millisecond), bs.LPSolves, bs.LPPivots, bs.Fragments,
+		ix.Tree().Height(), ix.Tree().Supernodes())
+	fmt.Printf("approximation volume sum: %.3f (1.0 = perfect)\n", ix.ApproxVolumeSum())
+
+	var oracle *scan.Scanner
+	if *verify {
+		oracle = scan.New(pts, vec.Euclidean{}, pager.New(pager.Config{}))
+	}
+	pg.ResetStats()
+	pg.DropCache()
+	var lat stats.Histogram
+	start := time.Now()
+	for i := 0; i < *queries; i++ {
+		q := make(vec.Point, *d)
+		for j := range q {
+			q[j] = rng.Float64()
+		}
+		qStart := time.Now()
+		got, err := ix.NearestNeighbor(q)
+		lat.Observe(time.Since(qStart))
+		if err != nil {
+			fatalf("query %d: %v", i, err)
+		}
+		if oracle != nil {
+			if _, want := oracle.Nearest(q); got.Dist2 != want {
+				fatalf("query %d: index answered dist² %v, scan says %v", i, got.Dist2, want)
+			}
+		}
+	}
+	elapsed := time.Since(start)
+	qs := ix.Stats()
+	ps := pg.Stats()
+	fmt.Printf("queries: %d in %v (%.1f µs/query CPU)\n",
+		*queries, elapsed.Round(time.Millisecond), float64(elapsed.Microseconds())/float64(*queries))
+	fmt.Printf("latency: %s\n", lat.String())
+	fmt.Printf("candidates/query: %.2f   page accesses: %d (misses %d)   fallbacks: %d\n",
+		float64(qs.Candidates)/float64(qs.Queries), ps.Accesses, ps.Misses, qs.Fallbacks)
+	if oracle != nil {
+		fmt.Println("verification: every answer matched the sequential scan")
+	}
+}
+
+func runDemo(seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	pts := dataset.Uniform(rng, 12, 2)
+	fmt.Println("NN-diagram of 12 uniform points (each letter = one cell, * = data point):")
+	fmt.Print(voronoi.Render(pts, vec.UnitCube(2), 72, 24))
+	ix, err := nncell.Build(pts, vec.UnitCube(2), pager.New(pager.Config{}), nncell.Options{Algorithm: nncell.Correct})
+	if err != nil {
+		fatalf("build: %v", err)
+	}
+	q := vec.Point{rng.Float64(), rng.Float64()}
+	nb, err := ix.NearestNeighbor(q)
+	if err != nil {
+		fatalf("query: %v", err)
+	}
+	frags, _ := ix.CellApprox(nb.ID)
+	fmt.Printf("\nquery %v -> nearest neighbor is point %c at %v\n", q, 'a'+nb.ID%26, pts[nb.ID])
+	fmt.Printf("its cell's MBR approximation: %v\n", frags[0])
+}
+
+func parseAlg(s string) (nncell.Algorithm, error) {
+	switch s {
+	case "correct":
+		return nncell.Correct, nil
+	case "point":
+		return nncell.PointAlg, nil
+	case "sphere":
+		return nncell.Sphere, nil
+	case "nndir", "nn-direction":
+		return nncell.NNDirection, nil
+	default:
+		return 0, fmt.Errorf("unknown algorithm %q (correct|point|sphere|nndir)", s)
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "nncell: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,248 @@
+// Package dataset generates the workloads of the paper's evaluation:
+// independently uniform points, the regular multidimensional uniform
+// distribution (the NN-cell approach's best case), sparse/diagonal data (its
+// worst case), clustered data, and synthetic Fourier points standing in for
+// the paper's real Fourier database. All generators are deterministic given
+// a seed and emit points inside the unit data space [0,1]^d.
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/vec"
+)
+
+// Uniform draws n points with each coordinate independently uniform in
+// [0,1). This is the paper's "uniformly distributed" synthetic workload —
+// uniform per axis projection but, as the paper stresses, not uniform as a
+// multidimensional distribution.
+func Uniform(rng *rand.Rand, n, d int) []vec.Point {
+	mustPositive(n, d)
+	pts := make([]vec.Point, n)
+	for i := range pts {
+		p := make(vec.Point, d)
+		for j := range p {
+			p[j] = rng.Float64()
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// Grid places points on a regular lattice — the paper's "regular
+// multidimensional uniform distribution" (Fig. 2c), the best case in which
+// MBR approximations coincide exactly with the NN-cells. It emits the
+// ceil(n^(1/d))^d lattice truncated to exactly n points, with cells centered
+// in their lattice boxes. jitter ∈ [0,1) optionally perturbs each coordinate
+// by up to jitter/2 lattice cells.
+func Grid(rng *rand.Rand, n, d int, jitter float64) []vec.Point {
+	mustPositive(n, d)
+	side := int(math.Ceil(math.Pow(float64(n), 1/float64(d))))
+	if side < 1 {
+		side = 1
+	}
+	pts := make([]vec.Point, 0, n)
+	idx := make([]int, d)
+	for len(pts) < n {
+		p := make(vec.Point, d)
+		for j := 0; j < d; j++ {
+			p[j] = (float64(idx[j]) + 0.5) / float64(side)
+			if jitter > 0 {
+				p[j] += (rng.Float64() - 0.5) * jitter / float64(side)
+				p[j] = clamp01(p[j])
+			}
+		}
+		pts = append(pts, p)
+		// Increment the mixed-radix counter.
+		for j := 0; j < d; j++ {
+			idx[j]++
+			if idx[j] < side {
+				break
+			}
+			idx[j] = 0
+			if j == d-1 {
+				return pts // lattice exhausted (n == side^d)
+			}
+		}
+	}
+	return pts
+}
+
+// Diagonal draws points along the main diagonal of the data space with a
+// small Gaussian jitter — the paper's "sparse distribution" archetype
+// (Fig. 2e), the worst case in which NN-cell MBRs degenerate toward the
+// whole data space.
+func Diagonal(rng *rand.Rand, n, d int, sigma float64) []vec.Point {
+	mustPositive(n, d)
+	pts := make([]vec.Point, n)
+	for i := range pts {
+		t := rng.Float64()
+		p := make(vec.Point, d)
+		for j := range p {
+			p[j] = clamp01(t + rng.NormFloat64()*sigma)
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// Clustered draws points from k Gaussian clusters with the given standard
+// deviation, cluster centers uniform in [0.1, 0.9]^d. It models the "high
+// clustering of the real data" the paper reports for its Fourier database.
+func Clustered(rng *rand.Rand, n, d, k int, sigma float64) []vec.Point {
+	mustPositive(n, d)
+	if k < 1 {
+		k = 1
+	}
+	centers := make([]vec.Point, k)
+	for c := range centers {
+		p := make(vec.Point, d)
+		for j := range p {
+			p[j] = 0.1 + 0.8*rng.Float64()
+		}
+		centers[c] = p
+	}
+	pts := make([]vec.Point, n)
+	for i := range pts {
+		c := centers[rng.Intn(k)]
+		p := make(vec.Point, d)
+		for j := range p {
+			p[j] = clamp01(c[j] + rng.NormFloat64()*sigma)
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// Fourier synthesizes the stand-in for the paper's real Fourier database:
+// each point is the vector of the first d Fourier coefficients of a random
+// band-limited contour function. Points are grouped into shape classes
+// (cluster structure) and coefficient variance decays as 1/(j+1)² (smooth
+// contours), reproducing the two properties the paper attributes to its real
+// data — heavy clustering and non-uniform per-axis spread. Coordinates are
+// affinely mapped into [0,1]^d with the energy decay preserved.
+func Fourier(rng *rand.Rand, n, d int) []vec.Point {
+	mustPositive(n, d)
+	classes := 40
+	if n < classes {
+		classes = n
+	}
+	protos := make([][]float64, classes)
+	for c := range protos {
+		coef := make([]float64, d)
+		for j := range coef {
+			coef[j] = rng.NormFloat64() / float64(j+1)
+		}
+		protos[c] = coef
+	}
+	raw := make([][]float64, n)
+	for i := range raw {
+		proto := protos[rng.Intn(classes)]
+		coef := make([]float64, d)
+		for j := range coef {
+			// Within-class variation is a fraction of the class spread and
+			// decays with frequency like the prototypes do.
+			coef[j] = proto[j] + 0.5*rng.NormFloat64()/float64(j+1)
+		}
+		raw[i] = coef
+	}
+	// Map into [0,1]^d with one global scale so relative axis energies (the
+	// 1/(j+1)² decay) survive the normalization.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, coef := range raw {
+		for _, v := range coef {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	span := hi - lo
+	if span == 0 {
+		span = 1
+	}
+	pts := make([]vec.Point, n)
+	for i, coef := range raw {
+		p := make(vec.Point, d)
+		for j, v := range coef {
+			p[j] = (v - lo) / span
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// Deduplicate removes exact duplicate points (the NN-cell of a duplicated
+// point is empty, which the paper's construction implicitly excludes). Order
+// is preserved.
+func Deduplicate(pts []vec.Point) []vec.Point {
+	seen := make(map[string]bool, len(pts))
+	out := pts[:0:0]
+	for _, p := range pts {
+		k := fmt.Sprintf("%v", p)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Name identifies a generator for CLI and experiment tables.
+type Name string
+
+// Generator names accepted by Generate.
+const (
+	NameUniform   Name = "uniform"
+	NameGrid      Name = "grid"
+	NameDiagonal  Name = "diagonal"
+	NameClustered Name = "clustered"
+	NameFourier   Name = "fourier"
+)
+
+// Names lists all generator names in stable order.
+func Names() []Name {
+	return []Name{NameUniform, NameGrid, NameDiagonal, NameClustered, NameFourier}
+}
+
+// Generate dispatches by name using each generator's default shape
+// parameters. Unknown names return an error listing the alternatives.
+func Generate(name Name, rng *rand.Rand, n, d int) ([]vec.Point, error) {
+	switch name {
+	case NameUniform:
+		return Uniform(rng, n, d), nil
+	case NameGrid:
+		return Grid(rng, n, d, 0), nil
+	case NameDiagonal:
+		return Diagonal(rng, n, d, 0.02), nil
+	case NameClustered:
+		return Clustered(rng, n, d, 10, 0.05), nil
+	case NameFourier:
+		return Fourier(rng, n, d), nil
+	default:
+		valid := Names()
+		ss := make([]string, len(valid))
+		for i, v := range valid {
+			ss[i] = string(v)
+		}
+		sort.Strings(ss)
+		return nil, fmt.Errorf("dataset: unknown generator %q (valid: %v)", name, ss)
+	}
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func mustPositive(n, d int) {
+	if n <= 0 || d <= 0 {
+		panic(fmt.Sprintf("dataset: invalid n=%d d=%d", n, d))
+	}
+}

@@ -1,0 +1,200 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/vec"
+)
+
+func inUnitCube(t *testing.T, pts []vec.Point, d int, tag string) {
+	t.Helper()
+	cube := vec.UnitCube(d)
+	for i, p := range pts {
+		if p.Dim() != d {
+			t.Fatalf("%s: point %d has dim %d, want %d", tag, i, p.Dim(), d)
+		}
+		if !cube.Contains(p) {
+			t.Fatalf("%s: point %d = %v outside unit cube", tag, i, p)
+		}
+	}
+}
+
+func TestAllGeneratorsBasics(t *testing.T) {
+	for _, name := range Names() {
+		for _, d := range []int{1, 2, 8, 16} {
+			rng := rand.New(rand.NewSource(7))
+			pts, err := Generate(name, rng, 200, d)
+			if err != nil {
+				t.Fatalf("%s d=%d: %v", name, d, err)
+			}
+			if len(pts) != 200 {
+				t.Fatalf("%s d=%d: %d points", name, d, len(pts))
+			}
+			inUnitCube(t, pts, d, string(name))
+		}
+	}
+}
+
+func TestGenerateUnknownName(t *testing.T) {
+	if _, err := Generate("bogus", rand.New(rand.NewSource(1)), 10, 2); err == nil {
+		t.Error("unknown generator accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, name := range Names() {
+		a, _ := Generate(name, rand.New(rand.NewSource(5)), 50, 4)
+		b, _ := Generate(name, rand.New(rand.NewSource(5)), 50, 4)
+		for i := range a {
+			if !a[i].Equal(b[i]) {
+				t.Fatalf("%s: non-deterministic at point %d", name, i)
+			}
+		}
+	}
+}
+
+func TestUniformMarginals(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pts := Uniform(rng, 20000, 3)
+	for j := 0; j < 3; j++ {
+		mean := 0.0
+		for _, p := range pts {
+			mean += p[j]
+		}
+		mean /= float64(len(pts))
+		if math.Abs(mean-0.5) > 0.01 {
+			t.Errorf("dim %d mean = %v, want ~0.5", j, mean)
+		}
+	}
+}
+
+func TestGridIsRegular(t *testing.T) {
+	pts := Grid(rand.New(rand.NewSource(1)), 16, 2, 0)
+	// 16 points in 2-D: a 4x4 lattice with spacing 0.25 starting at 0.125.
+	if len(pts) != 16 {
+		t.Fatalf("%d points", len(pts))
+	}
+	seen := map[[2]float64]bool{}
+	for _, p := range pts {
+		seen[[2]float64{p[0], p[1]}] = true
+		for _, v := range p {
+			// Each coordinate must be one of the 4 lattice values.
+			rem := math.Mod(v-0.125, 0.25)
+			if math.Abs(rem) > 1e-12 && math.Abs(rem-0.25) > 1e-12 {
+				t.Fatalf("coordinate %v not on lattice", v)
+			}
+		}
+	}
+	if len(seen) != 16 {
+		t.Errorf("lattice has %d distinct points, want 16", len(seen))
+	}
+	// Truncation: n not a perfect power still yields exactly n.
+	pts = Grid(rand.New(rand.NewSource(1)), 10, 2, 0)
+	if len(pts) != 10 {
+		t.Errorf("truncated grid has %d points", len(pts))
+	}
+}
+
+func TestGridJitterStaysInCube(t *testing.T) {
+	pts := Grid(rand.New(rand.NewSource(2)), 100, 3, 0.9)
+	inUnitCube(t, pts, 3, "grid-jitter")
+}
+
+func TestDiagonalHugsDiagonal(t *testing.T) {
+	pts := Diagonal(rand.New(rand.NewSource(3)), 500, 6, 0.02)
+	for _, p := range pts {
+		mean := 0.0
+		for _, v := range p {
+			mean += v
+		}
+		mean /= float64(p.Dim())
+		for _, v := range p {
+			if math.Abs(v-mean) > 0.2 {
+				t.Fatalf("point %v strays from the diagonal", p)
+			}
+		}
+	}
+}
+
+func TestClusteredIsClustered(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pts := Clustered(rng, 2000, 4, 5, 0.03)
+	// Average nearest-neighbor distance must be much smaller than for
+	// uniform data of the same size (clustering compresses local scale).
+	uni := Uniform(rand.New(rand.NewSource(5)), 2000, 4)
+	if nnAvg(pts) >= nnAvg(uni) {
+		t.Errorf("clustered NN distance %v >= uniform %v", nnAvg(pts), nnAvg(uni))
+	}
+}
+
+func TestFourierEnergyDecay(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	pts := Fourier(rng, 3000, 8)
+	// Variance along axis j should decay with j (the 1/(j+1)² design).
+	varAt := func(j int) float64 {
+		mean, v := 0.0, 0.0
+		for _, p := range pts {
+			mean += p[j]
+		}
+		mean /= float64(len(pts))
+		for _, p := range pts {
+			d := p[j] - mean
+			v += d * d
+		}
+		return v / float64(len(pts))
+	}
+	if !(varAt(0) > varAt(3) && varAt(3) > varAt(7)) {
+		t.Errorf("variances do not decay: %v, %v, %v", varAt(0), varAt(3), varAt(7))
+	}
+}
+
+func TestFourierIsClustered(t *testing.T) {
+	pts := Fourier(rand.New(rand.NewSource(8)), 2000, 8)
+	uni := Uniform(rand.New(rand.NewSource(9)), 2000, 8)
+	if nnAvg(pts) >= nnAvg(uni) {
+		t.Errorf("fourier NN distance %v >= uniform %v", nnAvg(pts), nnAvg(uni))
+	}
+}
+
+func TestDeduplicate(t *testing.T) {
+	pts := []vec.Point{{1, 2}, {1, 2}, {3, 4}, {1, 2}}
+	out := Deduplicate(pts)
+	if len(out) != 2 || !out[0].Equal(vec.Point{1, 2}) || !out[1].Equal(vec.Point{3, 4}) {
+		t.Errorf("Deduplicate = %v", out)
+	}
+}
+
+func TestInvalidArgsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for n=0")
+		}
+	}()
+	Uniform(rand.New(rand.NewSource(1)), 0, 2)
+}
+
+// nnAvg is the average distance of each of the first 200 points to its
+// nearest neighbor (sampled for speed).
+func nnAvg(pts []vec.Point) float64 {
+	m := vec.Euclidean{}
+	total := 0.0
+	count := 200
+	if count > len(pts) {
+		count = len(pts)
+	}
+	for i := 0; i < count; i++ {
+		best := math.Inf(1)
+		for j, q := range pts {
+			if j == i {
+				continue
+			}
+			if d := m.Dist2(pts[i], q); d < best {
+				best = d
+			}
+		}
+		total += math.Sqrt(best)
+	}
+	return total / float64(count)
+}

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// tiny returns a configuration small enough for unit tests.
+func tiny() Config {
+	return Config{
+		N:       300,
+		SmallN:  120,
+		Dims:    []int{2, 4},
+		Sizes:   []int{200, 400},
+		Queries: 40,
+		Seed:    7,
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{ID: "x", Title: "demo", Headers: []string{"a", "bb"}}
+	tb.AddRow(1, "hello")
+	tb.AddRow(22, 3.5)
+	s := tb.String()
+	if !strings.Contains(s, "demo") || !strings.Contains(s, "hello") {
+		t.Errorf("rendering missing content:\n%s", s)
+	}
+	csv := tb.CSV()
+	if !strings.HasPrefix(csv, "a,bb\n1,hello\n") {
+		t.Errorf("CSV = %q", csv)
+	}
+}
+
+func TestAllFiguresRunAtTinyScale(t *testing.T) {
+	tables, err := All(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 9 {
+		t.Fatalf("%d tables, want 9", len(tables))
+	}
+	for _, tb := range tables {
+		if len(tb.Rows) == 0 {
+			t.Errorf("%s: empty table", tb.ID)
+		}
+		for _, row := range tb.Rows {
+			if len(row) != len(tb.Headers) {
+				t.Errorf("%s: row width %d, headers %d", tb.ID, len(row), len(tb.Headers))
+			}
+		}
+	}
+}
+
+func TestFig4CorrectHasLowestOverlap(t *testing.T) {
+	tb, err := Fig4(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per dimension, the Correct algorithm's overlap must be the minimum
+	// (Lemma 1: everything else is a superset).
+	best := map[string]float64{}
+	correct := map[string]float64{}
+	for _, row := range tb.Rows {
+		dim, alg, overlap := row[0], row[1], row[3]
+		v := parseF(t, overlap)
+		if cur, ok := best[dim]; !ok || v < cur {
+			best[dim] = v
+		}
+		if alg == "Correct" {
+			correct[dim] = v
+		}
+	}
+	for dim, v := range correct {
+		if v > best[dim]+1e-9 {
+			t.Errorf("dim %s: Correct overlap %v above minimum %v", dim, v, best[dim])
+		}
+	}
+}
+
+func TestFig13DecompositionNotWorse(t *testing.T) {
+	tb, err := Fig13(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// volume_sum of the decomposed variant must not exceed the exact one.
+	var exact, dec float64
+	for _, row := range tb.Rows {
+		switch row[1] {
+		case "exact":
+			exact = parseF(t, row[3])
+		case "decomposed":
+			dec = parseF(t, row[3])
+			if dec > exact+1e-9 {
+				t.Errorf("dim %s: decomposed volume %v > exact %v", row[0], dec, exact)
+			}
+		}
+	}
+}
+
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	var v float64
+	if _, err := fmt.Sscan(s, &v); err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}

@@ -1,0 +1,400 @@
+// Package lp solves the small-dimension, many-constraint linear programs at
+// the heart of the paper's NN-cell construction:
+//
+//	maximize    c·x
+//	subject to  a_i·x ≤ b_i   (i = 1..m)
+//	            lo ≤ x ≤ hi   (the data-space box)
+//
+// Computing the MBR approximation of a Voronoi cell requires 2·d such LPs per
+// data point (maximize +x_j and −x_j for every dimension j), where the a_i are
+// bisector half-spaces — up to N−1 of them for the paper's "Correct"
+// algorithm. The defining characteristic is d ≤ ~20 variables but potentially
+// tens of thousands of constraints, so the package provides:
+//
+//   - Maximize: a revised simplex on the *dual* program. The dual of an LP
+//     with d variables and m constraints has a d×d basis regardless of m; each
+//     iteration scans the m columns once (O(m·d)) and refactorizes the tiny
+//     basis (O(d³)). Because the data-space box rows are always present, a
+//     dual-feasible starting basis exists in closed form and no phase-1 is
+//     ever needed.
+//
+//   - MaximizeSeidel: Seidel's randomized incremental algorithm [Sei 90],
+//     cited by the paper as the expected O(d!·n) bound for its LP step. It is
+//     implemented independently of the simplex and serves as a cross-checking
+//     oracle in tests (practical for small d).
+//
+// Both solvers return the optimal vertex, the objective value, and the set of
+// tight constraints.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Numerical tolerances. Inputs are expected to be normalized to roughly unit
+// scale (the NN-cell pipeline works inside [0,1]^d and normalizes constraint
+// rows); the solvers additionally rescale each row to unit infinity-norm.
+const (
+	tolPivot  = 1e-11 // smallest acceptable pivot magnitude
+	tolRed    = 1e-9  // reduced-cost optimality tolerance
+	tolRatio  = 1e-12 // ratio-test degeneracy tolerance
+	maxPivots = 50000 // hard iteration cap (defensive; never hit in practice)
+)
+
+// Package-level error conditions.
+var (
+	// ErrInfeasible is returned when no point satisfies all constraints and
+	// the box bounds simultaneously.
+	ErrInfeasible = errors.New("lp: infeasible")
+	// ErrNumeric is returned when the solver could not make progress within
+	// its iteration budget, indicating severe degeneracy or bad scaling.
+	ErrNumeric = errors.New("lp: numerical difficulty, iteration limit reached")
+)
+
+// Constraint is a single half-space a·x ≤ b.
+type Constraint struct {
+	A []float64
+	B float64
+}
+
+// Problem is a linear program over box-bounded variables. The box is
+// mandatory: it is what guarantees boundedness and gives the dual simplex its
+// closed-form starting basis. Lo and Hi must satisfy Lo[i] <= Hi[i].
+type Problem struct {
+	NumVars int
+	Cons    []Constraint
+	Lo, Hi  []float64
+}
+
+// Validate checks structural consistency of the problem.
+func (p *Problem) Validate() error {
+	if p.NumVars <= 0 {
+		return fmt.Errorf("lp: NumVars = %d, want > 0", p.NumVars)
+	}
+	if len(p.Lo) != p.NumVars || len(p.Hi) != p.NumVars {
+		return fmt.Errorf("lp: bounds have length %d/%d, want %d", len(p.Lo), len(p.Hi), p.NumVars)
+	}
+	for i := range p.Lo {
+		if !(p.Lo[i] <= p.Hi[i]) { // also catches NaN
+			return fmt.Errorf("lp: bound %d inverted or NaN: [%v, %v]", i, p.Lo[i], p.Hi[i])
+		}
+	}
+	for i, c := range p.Cons {
+		if len(c.A) != p.NumVars {
+			return fmt.Errorf("lp: constraint %d has %d coefficients, want %d", i, len(c.A), p.NumVars)
+		}
+	}
+	return nil
+}
+
+// Result is the outcome of a successful solve.
+type Result struct {
+	// X is an optimal vertex.
+	X []float64
+	// Value is the objective value c·X.
+	Value float64
+	// Tight lists indices into Problem.Cons of the user constraints that are
+	// binding at X according to the final basis. Box rows are not reported.
+	Tight []int
+	// Iterations is the number of simplex pivots (or Seidel base solves).
+	Iterations int
+}
+
+// Maximize solves the problem with the dual revised simplex. It returns
+// ErrInfeasible if the constraint set excludes the entire box.
+//
+// Method. The dual of {max c·x : Ax ≤ b} is {min b·y : Aᵀy = c, y ≥ 0}. We
+// fold the box into A as 2·d extra rows (+e_j ≤ hi_j and −e_j ≤ −lo_j), so
+// the columns of Aᵀ include ±e_j for every dimension. Picking, for each j,
+// the +e_j column when c_j ≥ 0 and the −e_j column otherwise yields a basis
+// B = diag(±1) with B⁻¹c = |c| ≥ 0 — a dual-feasible starting point with no
+// phase-1. Pricing uses Dantzig's rule and falls back to Bland's rule after a
+// run of degenerate pivots, which guarantees termination.
+func Maximize(p *Problem, c []float64) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(c) != p.NumVars {
+		return nil, fmt.Errorf("lp: objective has %d coefficients, want %d", len(c), p.NumVars)
+	}
+	s := newDualSimplex(p, c)
+	return s.solve()
+}
+
+// dualSimplex holds the working state of one Maximize call.
+//
+// Column layout of the dual constraint matrix M (d rows): columns 0..m-1 are
+// the user constraints (M_j = Cons[j].A scaled), columns m..m+d-1 are the box
+// upper rows (+e_j), columns m+d..m+2d-1 the box lower rows (−e_j).
+type dualSimplex struct {
+	d, m  int
+	cols  [][]float64 // user-constraint columns, row-normalized
+	w     []float64   // dual objective: normalized b, then hi, then -lo
+	lo    []float64
+	hi    []float64
+	c     []float64 // primal objective
+	basis []int     // d column indices
+	binv  [][]float64
+}
+
+func newDualSimplex(p *Problem, c []float64) *dualSimplex {
+	d, m := p.NumVars, len(p.Cons)
+	s := &dualSimplex{
+		d: d, m: m,
+		cols: make([][]float64, m),
+		w:    make([]float64, m+2*d),
+		lo:   p.Lo, hi: p.Hi,
+		c:     c,
+		basis: make([]int, d),
+	}
+	for j, con := range p.Cons {
+		// Normalize each row to unit infinity norm for conditioning. A zero
+		// row is either trivially satisfiable (b >= 0, drop by making it
+		// never enter: keep as-is with zero column) or infeasible.
+		scale := 0.0
+		for _, a := range con.A {
+			if v := math.Abs(a); v > scale {
+				scale = v
+			}
+		}
+		col := make([]float64, d)
+		b := con.B
+		if scale > 0 {
+			inv := 1 / scale
+			for i, a := range con.A {
+				col[i] = a * inv
+			}
+			b *= inv
+		}
+		s.cols[j] = col
+		s.w[j] = b
+	}
+	for j := 0; j < d; j++ {
+		s.w[m+j] = p.Hi[j]
+		s.w[m+d+j] = -p.Lo[j]
+	}
+	return s
+}
+
+// column materializes dual column k into dst.
+func (s *dualSimplex) column(k int, dst []float64) {
+	switch {
+	case k < s.m:
+		copy(dst, s.cols[k])
+	case k < s.m+s.d:
+		for i := range dst {
+			dst[i] = 0
+		}
+		dst[k-s.m] = 1
+	default:
+		for i := range dst {
+			dst[i] = 0
+		}
+		dst[k-s.m-s.d] = -1
+	}
+}
+
+func (s *dualSimplex) solve() (*Result, error) {
+	d := s.d
+	// Starting basis: signed identity from box rows.
+	for j := 0; j < d; j++ {
+		if s.c[j] >= 0 {
+			s.basis[j] = s.m + j // +e_j column
+		} else {
+			s.basis[j] = s.m + s.d + j // -e_j column
+		}
+	}
+	if err := s.refactor(); err != nil {
+		return nil, err
+	}
+
+	lambda := make([]float64, d) // current dual basic values B⁻¹ c
+	pi := make([]float64, d)     // simplex multipliers w_B B⁻¹
+	u := make([]float64, d)      // entering column in basis coordinates
+	colbuf := make([]float64, d)
+	inBasis := make([]bool, s.m+2*d)
+
+	degenerate := 0
+	bland := false
+	iters := 0
+	for ; iters < maxPivots; iters++ {
+		// lambda = B⁻¹ c
+		for i := 0; i < d; i++ {
+			v := 0.0
+			for j := 0; j < d; j++ {
+				v += s.binv[i][j] * s.c[j]
+			}
+			lambda[i] = v
+		}
+		// pi = w_B B⁻¹
+		for j := 0; j < d; j++ {
+			v := 0.0
+			for i := 0; i < d; i++ {
+				v += s.w[s.basis[i]] * s.binv[i][j]
+			}
+			pi[j] = v
+		}
+		for i := range inBasis {
+			inBasis[i] = false
+		}
+		for _, k := range s.basis {
+			inBasis[k] = true
+		}
+
+		// Pricing: find entering column with negative reduced cost.
+		enter := -1
+		bestRed := -tolRed
+		total := s.m + 2*d
+		for k := 0; k < total; k++ {
+			if inBasis[k] {
+				continue
+			}
+			var red float64
+			switch {
+			case k < s.m:
+				red = s.w[k]
+				col := s.cols[k]
+				for i := 0; i < d; i++ {
+					red -= pi[i] * col[i]
+				}
+			case k < s.m+d:
+				red = s.w[k] - pi[k-s.m]
+			default:
+				red = s.w[k] + pi[k-s.m-d]
+			}
+			if red < bestRed {
+				if bland {
+					enter = k
+					break // Bland: first (lowest-index) improving column
+				}
+				bestRed = red
+				enter = k
+			}
+		}
+		if enter < 0 {
+			return s.finish(pi, lambda, iters)
+		}
+
+		// Direction u = B⁻¹ M_enter.
+		s.column(enter, colbuf)
+		for i := 0; i < d; i++ {
+			v := 0.0
+			for j := 0; j < d; j++ {
+				v += s.binv[i][j] * colbuf[j]
+			}
+			u[i] = v
+		}
+
+		// Ratio test: leaving row minimizes lambda_i / u_i over u_i > 0.
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < d; i++ {
+			if u[i] > tolPivot {
+				ratio := lambda[i] / u[i]
+				if ratio < bestRatio-tolRatio ||
+					(ratio < bestRatio+tolRatio && (leave < 0 || s.basis[i] < s.basis[leave])) {
+					bestRatio = ratio
+					leave = i
+				}
+			}
+		}
+		if leave < 0 {
+			// Dual unbounded ⇒ primal infeasible.
+			return nil, ErrInfeasible
+		}
+		if bestRatio < tolRatio {
+			degenerate++
+			if degenerate > 2*d+20 {
+				bland = true
+			}
+		} else {
+			degenerate = 0
+		}
+
+		s.basis[leave] = enter
+		if err := s.refactor(); err != nil {
+			return nil, err
+		}
+	}
+	return nil, ErrNumeric
+}
+
+// finish recovers the primal vertex from the final basis. At dual optimality
+// every reduced cost w_k − π·M_k is ≥ 0, i.e. a_k·π ≤ b_k for all primal
+// constraints, with equality on the basic columns — so the simplex
+// multipliers π are exactly the complementary primal vertex, and
+// c·π = w_B·λ is the optimal value by strong duality.
+func (s *dualSimplex) finish(pi, lambda []float64, iters int) (*Result, error) {
+	d := s.d
+	x := make([]float64, d)
+	copy(x, pi)
+	val := 0.0
+	for j := 0; j < d; j++ {
+		val += s.c[j] * x[j]
+	}
+	res := &Result{X: x, Value: val, Iterations: iters}
+	for i, k := range s.basis {
+		if k < s.m && lambda[i] > tolRed {
+			res.Tight = append(res.Tight, k)
+		}
+	}
+	return res, nil
+}
+
+// refactor recomputes binv = B⁻¹ from scratch. With d ≤ ~20 this costs
+// microseconds and sidesteps product-form update drift.
+func (s *dualSimplex) refactor() error {
+	d := s.d
+	mat := make([][]float64, d)
+	col := make([]float64, d)
+	for i := 0; i < d; i++ {
+		mat[i] = make([]float64, 2*d)
+	}
+	for j, k := range s.basis {
+		s.column(k, col)
+		for i := 0; i < d; i++ {
+			mat[i][j] = col[i]
+		}
+	}
+	for i := 0; i < d; i++ {
+		mat[i][d+i] = 1
+	}
+	// Gauss-Jordan with partial pivoting on the augmented [B | I].
+	for c := 0; c < d; c++ {
+		p := c
+		for r := c + 1; r < d; r++ {
+			if math.Abs(mat[r][c]) > math.Abs(mat[p][c]) {
+				p = r
+			}
+		}
+		if math.Abs(mat[p][c]) < tolPivot {
+			return fmt.Errorf("lp: singular basis (pivot %e in column %d)", mat[p][c], c)
+		}
+		mat[c], mat[p] = mat[p], mat[c]
+		inv := 1 / mat[c][c]
+		for j := 0; j < 2*d; j++ {
+			mat[c][j] *= inv
+		}
+		for r := 0; r < d; r++ {
+			if r == c || mat[r][c] == 0 {
+				continue
+			}
+			f := mat[r][c]
+			for j := 0; j < 2*d; j++ {
+				mat[r][j] -= f * mat[c][j]
+			}
+		}
+	}
+	if s.binv == nil {
+		s.binv = make([][]float64, d)
+		for i := range s.binv {
+			s.binv[i] = make([]float64, d)
+		}
+	}
+	for i := 0; i < d; i++ {
+		copy(s.binv[i], mat[i][d:])
+	}
+	return nil
+}

@@ -1,0 +1,362 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// feasibleProblem generates a random problem in [0,1]^d that is guaranteed to
+// contain the point p0 (all constraints are built to keep p0 feasible), which
+// mirrors how the NN-cell pipeline uses the solver: the cell of a data point
+// always contains the data point itself.
+func feasibleProblem(rng *rand.Rand, d, m int) (*Problem, []float64) {
+	p0 := make([]float64, d)
+	for j := range p0 {
+		p0[j] = rng.Float64()
+	}
+	pr := &Problem{NumVars: d, Lo: make([]float64, d), Hi: make([]float64, d)}
+	for j := 0; j < d; j++ {
+		pr.Hi[j] = 1
+	}
+	for i := 0; i < m; i++ {
+		a := make([]float64, d)
+		dot := 0.0
+		for j := 0; j < d; j++ {
+			a[j] = rng.NormFloat64()
+			dot += a[j] * p0[j]
+		}
+		// b = a·p0 + slack keeps p0 strictly feasible.
+		b := dot + rng.Float64()*0.5
+		pr.Cons = append(pr.Cons, Constraint{A: a, B: b})
+	}
+	return pr, p0
+}
+
+func objective(c, x []float64) float64 {
+	s := 0.0
+	for j := range c {
+		s += c[j] * x[j]
+	}
+	return s
+}
+
+func checkFeasible(t *testing.T, p *Problem, x []float64, tag string) {
+	t.Helper()
+	const tol = 1e-6
+	for j := 0; j < p.NumVars; j++ {
+		if x[j] < p.Lo[j]-tol || x[j] > p.Hi[j]+tol {
+			t.Fatalf("%s: x[%d]=%v outside box [%v,%v]", tag, j, x[j], p.Lo[j], p.Hi[j])
+		}
+	}
+	for i, con := range p.Cons {
+		if s := objective(con.A, x); s > con.B+tol*(1+math.Abs(con.B)) {
+			t.Fatalf("%s: constraint %d violated: %v > %v", tag, i, s, con.B)
+		}
+	}
+}
+
+func TestMaximizeBoxOnly(t *testing.T) {
+	p := &Problem{NumVars: 3, Lo: []float64{0, -1, 2}, Hi: []float64{1, 1, 5}}
+	r, err := Maximize(p, []float64{1, -1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, -1, 5}
+	for j := range want {
+		if math.Abs(r.X[j]-want[j]) > 1e-9 {
+			t.Errorf("X[%d] = %v, want %v", j, r.X[j], want[j])
+		}
+	}
+	if math.Abs(r.Value-12) > 1e-9 {
+		t.Errorf("Value = %v, want 12", r.Value)
+	}
+}
+
+func TestMaximizeSingleConstraint2D(t *testing.T) {
+	// max x+y s.t. x+y <= 1 in [0,1]^2: optimum value 1.
+	p := &Problem{
+		NumVars: 2,
+		Cons:    []Constraint{{A: []float64{1, 1}, B: 1}},
+		Lo:      []float64{0, 0}, Hi: []float64{1, 1},
+	}
+	r, err := Maximize(p, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Value-1) > 1e-9 {
+		t.Errorf("Value = %v, want 1", r.Value)
+	}
+	checkFeasible(t, p, r.X, "single")
+}
+
+func TestMaximizeKnown2D(t *testing.T) {
+	// max 3x+2y s.t. x+y<=4, x+3y<=6, box [0,3]x[0,3]: optimum at (3,1) = 11.
+	p := &Problem{
+		NumVars: 2,
+		Cons: []Constraint{
+			{A: []float64{1, 1}, B: 4},
+			{A: []float64{1, 3}, B: 6},
+		},
+		Lo: []float64{0, 0}, Hi: []float64{3, 3},
+	}
+	r, err := Maximize(p, []float64{3, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Value-11) > 1e-8 {
+		t.Errorf("Value = %v, want 11", r.Value)
+	}
+	if math.Abs(r.X[0]-3) > 1e-8 || math.Abs(r.X[1]-1) > 1e-8 {
+		t.Errorf("X = %v, want (3,1)", r.X)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := &Problem{
+		NumVars: 2,
+		Cons: []Constraint{
+			{A: []float64{1, 0}, B: -1}, // x <= -1 contradicts x >= 0
+		},
+		Lo: []float64{0, 0}, Hi: []float64{1, 1},
+	}
+	if _, err := Maximize(p, []float64{1, 0}); err != ErrInfeasible {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	if _, err := MaximizeSeidel(p, []float64{1, 0}, rng); err != ErrInfeasible {
+		t.Errorf("Seidel err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestZeroRowConstraints(t *testing.T) {
+	p := &Problem{
+		NumVars: 2,
+		Cons: []Constraint{
+			{A: []float64{0, 0}, B: 1}, // trivially true
+		},
+		Lo: []float64{0, 0}, Hi: []float64{1, 1},
+	}
+	r, err := Maximize(p, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Value-2) > 1e-9 {
+		t.Errorf("Value = %v, want 2", r.Value)
+	}
+	// Trivially false zero row.
+	p.Cons[0].B = -1
+	if _, err := Maximize(p, []float64{1, 1}); err != ErrInfeasible {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []*Problem{
+		{NumVars: 0},
+		{NumVars: 2, Lo: []float64{0}, Hi: []float64{1, 1}},
+		{NumVars: 1, Lo: []float64{2}, Hi: []float64{1}},
+		{NumVars: 1, Lo: []float64{math.NaN()}, Hi: []float64{1}},
+		{NumVars: 2, Lo: []float64{0, 0}, Hi: []float64{1, 1},
+			Cons: []Constraint{{A: []float64{1}, B: 0}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted invalid problem", i)
+		}
+	}
+	if _, err := Maximize(&Problem{NumVars: 1, Lo: []float64{0}, Hi: []float64{1}}, []float64{1, 2}); err == nil {
+		t.Error("objective length mismatch accepted")
+	}
+}
+
+// Cross-check the dual simplex against Seidel's algorithm on random problems.
+func TestSimplexAgreesWithSeidel(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 400; trial++ {
+		d := 2 + rng.Intn(4) // 2..5
+		m := 1 + rng.Intn(25)
+		p, _ := feasibleProblem(rng, d, m)
+		c := make([]float64, d)
+		for j := range c {
+			c[j] = rng.NormFloat64()
+		}
+		rs, err := Maximize(p, c)
+		if err != nil {
+			t.Fatalf("trial %d: simplex: %v", trial, err)
+		}
+		rq, err := MaximizeSeidel(p, c, rng)
+		if err != nil {
+			t.Fatalf("trial %d: seidel: %v", trial, err)
+		}
+		checkFeasible(t, p, rs.X, "simplex")
+		checkFeasible(t, p, rq.X, "seidel")
+		if diff := math.Abs(rs.Value - rq.Value); diff > 1e-6*(1+math.Abs(rs.Value)) {
+			t.Fatalf("trial %d (d=%d m=%d): simplex %v vs seidel %v", trial, d, m, rs.Value, rq.Value)
+		}
+	}
+}
+
+// The axis-extent LPs used by the NN-cell pipeline: objective ±e_j. Check the
+// solvers agree and that the feasible point p0 is inside the solved extent.
+func TestAxisExtentLPs(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 100; trial++ {
+		d := 2 + rng.Intn(5)
+		m := 5 + rng.Intn(40)
+		p, p0 := feasibleProblem(rng, d, m)
+		for j := 0; j < d; j++ {
+			for _, sign := range []float64{1, -1} {
+				c := make([]float64, d)
+				c[j] = sign
+				rs, err := Maximize(p, c)
+				if err != nil {
+					t.Fatalf("trial %d: %v", trial, err)
+				}
+				rq, err := MaximizeSeidel(p, c, rng)
+				if err != nil {
+					t.Fatalf("trial %d seidel: %v", trial, err)
+				}
+				if math.Abs(rs.Value-rq.Value) > 1e-6 {
+					t.Fatalf("trial %d dim %d sign %v: %v vs %v", trial, j, sign, rs.Value, rq.Value)
+				}
+				// The extent must cover the known feasible point.
+				if sign > 0 && rs.Value < p0[j]-1e-7 {
+					t.Fatalf("upper extent %v below feasible coordinate %v", rs.Value, p0[j])
+				}
+				if sign < 0 && -rs.Value > p0[j]+1e-7 {
+					t.Fatalf("lower extent %v above feasible coordinate %v", -rs.Value, p0[j])
+				}
+			}
+		}
+	}
+}
+
+// Adding constraints can only shrink the optimum (monotonicity) — this is the
+// property behind the paper's Lemma 1.
+func TestMonotonicity(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 150; trial++ {
+		d := 2 + rng.Intn(4)
+		m := 10 + rng.Intn(30)
+		p, _ := feasibleProblem(rng, d, m)
+		c := make([]float64, d)
+		for j := range c {
+			c[j] = rng.NormFloat64()
+		}
+		full, err := Maximize(p, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sub := &Problem{NumVars: d, Lo: p.Lo, Hi: p.Hi}
+		for _, con := range p.Cons {
+			if rng.Float64() < 0.5 {
+				sub.Cons = append(sub.Cons, con)
+			}
+		}
+		rel, err := Maximize(sub, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel.Value < full.Value-1e-7*(1+math.Abs(full.Value)) {
+			t.Fatalf("trial %d: subset optimum %v < full optimum %v", trial, rel.Value, full.Value)
+		}
+	}
+}
+
+// The reported tight constraints must actually be tight at the vertex.
+func TestTightConstraintsAreTight(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		d := 2 + rng.Intn(4)
+		p, _ := feasibleProblem(rng, d, 20)
+		c := make([]float64, d)
+		for j := range c {
+			c[j] = rng.NormFloat64()
+		}
+		r, err := Maximize(p, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, i := range r.Tight {
+			con := p.Cons[i]
+			if s := objective(con.A, r.X); math.Abs(s-con.B) > 1e-6*(1+math.Abs(con.B)) {
+				t.Fatalf("constraint %d reported tight but slack = %v", i, con.B-s)
+			}
+		}
+	}
+}
+
+// Many redundant duplicate constraints (degeneracy stress).
+func TestDegenerateDuplicates(t *testing.T) {
+	p := &Problem{NumVars: 3, Lo: []float64{0, 0, 0}, Hi: []float64{1, 1, 1}}
+	for i := 0; i < 50; i++ {
+		p.Cons = append(p.Cons, Constraint{A: []float64{1, 1, 1}, B: 1.5})
+		p.Cons = append(p.Cons, Constraint{A: []float64{2, 2, 2}, B: 3})
+	}
+	r, err := Maximize(p, []float64{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Value-1.5) > 1e-8 {
+		t.Errorf("Value = %v, want 1.5", r.Value)
+	}
+}
+
+// Larger-scale smoke test: many constraints at moderate dimension.
+func TestManyConstraints(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	p, _ := feasibleProblem(rng, 12, 5000)
+	c := make([]float64, 12)
+	c[3] = 1
+	r, err := Maximize(p, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFeasible(t, p, r.X, "many")
+	if r.Value < 0 || r.Value > 1 {
+		t.Errorf("Value = %v outside data space", r.Value)
+	}
+}
+
+func TestSeidelBaseCases(t *testing.T) {
+	x, err := seidelBase([]Constraint{{A: []float64{2}, B: 1}}, 1, 0, 1)
+	if err != nil || math.Abs(x[0]-0.5) > 1e-12 {
+		t.Errorf("base: x=%v err=%v, want 0.5", x, err)
+	}
+	x, err = seidelBase([]Constraint{{A: []float64{-1}, B: -0.25}}, -1, 0, 1)
+	if err != nil || math.Abs(x[0]-0.25) > 1e-12 {
+		t.Errorf("base lower: x=%v err=%v, want 0.25", x, err)
+	}
+	if _, err := seidelBase([]Constraint{{A: []float64{1}, B: -1}}, 1, 0, 1); err != ErrInfeasible {
+		t.Errorf("base infeasible: err=%v", err)
+	}
+}
+
+func BenchmarkMaximizeD8M1000(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	p, _ := feasibleProblem(rng, 8, 1000)
+	c := make([]float64, 8)
+	c[0] = 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Maximize(p, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMaximizeD16M10000(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	p, _ := feasibleProblem(rng, 16, 10000)
+	c := make([]float64, 16)
+	c[7] = -1
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Maximize(p, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,201 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+)
+
+// MaximizeSeidel solves the same box-bounded LP as Maximize using Seidel's
+// randomized incremental algorithm [Sei 90], the method the paper cites for
+// its expected O(d!·n) linear-programming bound. Constraints are processed in
+// random order; whenever the running optimum violates a constraint, the
+// problem is re-solved on that constraint's hyperplane with one variable
+// eliminated. With the box always present the LP is bounded, so the only
+// failure mode is infeasibility.
+//
+// The implementation is deliberately independent of the dual simplex in
+// lp.go: it shares no solver code and is used in tests as a cross-checking
+// oracle. Its recursion makes it practical for small d (≤ ~8); production
+// callers should use Maximize.
+func MaximizeSeidel(p *Problem, c []float64, rng *rand.Rand) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	cons := make([]Constraint, len(p.Cons))
+	copy(cons, p.Cons)
+	lo := append([]float64(nil), p.Lo...)
+	hi := append([]float64(nil), p.Hi...)
+	cc := append([]float64(nil), c...)
+	solves := 0
+	x, err := seidelRec(cons, cc, lo, hi, rng, &solves)
+	if err != nil {
+		return nil, err
+	}
+	val := 0.0
+	for j := range cc {
+		val += cc[j] * x[j]
+	}
+	res := &Result{X: x, Value: val, Iterations: solves}
+	for i, con := range p.Cons {
+		s := 0.0
+		for j := range con.A {
+			s += con.A[j] * x[j]
+		}
+		if math.Abs(s-con.B) <= 1e-7*(1+math.Abs(con.B)) {
+			res.Tight = append(res.Tight, i)
+		}
+	}
+	return res, nil
+}
+
+const seidelTol = 1e-9
+
+// seidelRec maximizes c·x over the box [lo,hi] intersected with cons.
+func seidelRec(cons []Constraint, c, lo, hi []float64, rng *rand.Rand, solves *int) ([]float64, error) {
+	d := len(c)
+	*solves++
+	if d == 1 {
+		return seidelBase(cons, c[0], lo[0], hi[0])
+	}
+	// Random insertion order.
+	rng.Shuffle(len(cons), func(i, j int) { cons[i], cons[j] = cons[j], cons[i] })
+
+	// Optimum of the box alone: the corner selected by the objective sign.
+	x := make([]float64, d)
+	for j := 0; j < d; j++ {
+		if c[j] >= 0 {
+			x[j] = hi[j]
+		} else {
+			x[j] = lo[j]
+		}
+	}
+	for i, con := range cons {
+		s := 0.0
+		norm := 0.0
+		for j := 0; j < d; j++ {
+			s += con.A[j] * x[j]
+			if v := math.Abs(con.A[j]); v > norm {
+				norm = v
+			}
+		}
+		if s <= con.B+seidelTol*(1+math.Abs(con.B)) {
+			continue // still satisfied; optimum unchanged
+		}
+		if norm == 0 {
+			return nil, ErrInfeasible // 0·x ≤ b with b < current s ⇒ b < 0
+		}
+		// The optimum of the first i+1 constraints lies on this hyperplane.
+		y, err := seidelOnHyperplane(cons[:i], con, c, lo, hi, rng, solves)
+		if err != nil {
+			return nil, err
+		}
+		x = y
+	}
+	return x, nil
+}
+
+// seidelOnHyperplane solves the subproblem restricted to a·x = b by
+// eliminating the variable with the largest |coefficient|.
+func seidelOnHyperplane(cons []Constraint, eq Constraint, c, lo, hi []float64, rng *rand.Rand, solves *int) ([]float64, error) {
+	d := len(c)
+	k := 0
+	for j := 1; j < d; j++ {
+		if math.Abs(eq.A[j]) > math.Abs(eq.A[k]) {
+			k = j
+		}
+	}
+	ak := eq.A[k]
+	if math.Abs(ak) < tolPivot {
+		return nil, ErrInfeasible
+	}
+	// x_k = (b − Σ_{j≠k} a_j x_j) / a_k =: beta − Σ g_j y_j with the
+	// remaining variables y (original indices except k).
+	idx := make([]int, 0, d-1)
+	for j := 0; j < d; j++ {
+		if j != k {
+			idx = append(idx, j)
+		}
+	}
+	beta := eq.B / ak
+	g := make([]float64, d-1)
+	for t, j := range idx {
+		g[t] = eq.A[j] / ak
+	}
+
+	subLo := make([]float64, d-1)
+	subHi := make([]float64, d-1)
+	subC := make([]float64, d-1)
+	for t, j := range idx {
+		subLo[t] = lo[j]
+		subHi[t] = hi[j]
+		subC[t] = c[j] - c[k]*g[t]
+	}
+	subCons := make([]Constraint, 0, len(cons)+2)
+	project := func(a []float64, b float64) (row []float64, rhs float64) {
+		row = make([]float64, d-1)
+		for t, j := range idx {
+			row[t] = a[j] - a[k]*g[t]
+		}
+		rhs = b - a[k]*beta
+		return row, rhs
+	}
+	for _, con := range cons {
+		row, rhs := project(con.A, con.B)
+		subCons = append(subCons, Constraint{A: row, B: rhs})
+	}
+	// The eliminated variable's box bounds become constraints:
+	// lo_k ≤ beta − g·y ≤ hi_k.
+	up := make([]float64, d-1)   // −g·y ≤ hi_k − beta  → (−g)·y ≤ hi_k − beta
+	down := make([]float64, d-1) // g·y ≤ beta − lo_k
+	for t := range g {
+		up[t] = -g[t]
+		down[t] = g[t]
+	}
+	subCons = append(subCons,
+		Constraint{A: up, B: hi[k] - beta},
+		Constraint{A: down, B: beta - lo[k]})
+
+	y, err := seidelRec(subCons, subC, subLo, subHi, rng, solves)
+	if err != nil {
+		return nil, err
+	}
+	x := make([]float64, d)
+	xk := beta
+	for t, j := range idx {
+		x[j] = y[t]
+		xk -= g[t] * y[t]
+	}
+	x[k] = xk
+	return x, nil
+}
+
+// seidelBase solves the 1-D problem: maximize c·x over [lo,hi] ∩ {a_i x ≤ b_i}.
+func seidelBase(cons []Constraint, c, lo, hi float64) ([]float64, error) {
+	for _, con := range cons {
+		a, b := con.A[0], con.B
+		switch {
+		case a > seidelTol:
+			if v := b / a; v < hi {
+				hi = v
+			}
+		case a < -seidelTol:
+			if v := b / a; v > lo {
+				lo = v
+			}
+		default:
+			if b < -seidelTol {
+				return nil, ErrInfeasible
+			}
+		}
+	}
+	if lo > hi+seidelTol {
+		return nil, ErrInfeasible
+	}
+	if lo > hi {
+		hi = lo
+	}
+	if c >= 0 {
+		return []float64{hi}, nil
+	}
+	return []float64{lo}, nil
+}

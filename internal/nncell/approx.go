@@ -1,0 +1,306 @@
+package nncell
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/lp"
+	"repro/internal/vec"
+	"repro/internal/xtree"
+)
+
+// approximateCell computes the fragment MBRs of point i's NN-cell using the
+// configured algorithm and decomposition. It reads ix.points/ix.dataIdx but
+// never mutates the index, so the builder may call it from many goroutines.
+func (ix *Index) approximateCell(i int) ([]vec.Rect, error) {
+	p := ix.points[i]
+	if p == nil {
+		return nil, fmt.Errorf("nncell: approximating tombstoned point %d", i)
+	}
+	var (
+		mbr  vec.Rect
+		cons []lp.Constraint
+		err  error
+	)
+	if ix.opts.Algorithm == Correct {
+		mbr, cons, err = ix.correctMBR(i)
+	} else {
+		ids := ix.selectConstraintPoints(i)
+		cons = ix.bisectors(p, ids)
+		mbr, err = ix.solveMBR(p, cons)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if ix.opts.Decompose > 1 {
+		return ix.decompose(p, cons, mbr)
+	}
+	return []vec.Rect{ix.finishRect(mbr)}, nil
+}
+
+// finishRect pads a solved MBR by Epsilon (absorbing LP tolerance; padding
+// keeps the approximation a superset, so correctness is unaffected) and clips
+// it to the data space.
+func (ix *Index) finishRect(r vec.Rect) vec.Rect {
+	out := r.Clone()
+	for j := 0; j < ix.dim; j++ {
+		out.Lo[j] -= ix.opts.Epsilon
+		out.Hi[j] += ix.opts.Epsilon
+	}
+	return out.Clip(ix.bounds)
+}
+
+// bisectors converts constraint point ids into the half-spaces
+// {x : d(x,P) ≤ d(x,Q)} = {x : 2(Q−P)·x ≤ ‖Q‖² − ‖P‖²}.
+func (ix *Index) bisectors(p vec.Point, ids []int) []lp.Constraint {
+	cons := make([]lp.Constraint, 0, len(ids))
+	pn := p.Norm2()
+	for _, id := range ids {
+		q := ix.points[id]
+		if q == nil {
+			continue
+		}
+		a := make([]float64, ix.dim)
+		for j := 0; j < ix.dim; j++ {
+			a[j] = 2 * (q[j] - p[j])
+		}
+		cons = append(cons, lp.Constraint{A: a, B: q.Norm2() - pn})
+	}
+	ix.stats.constraintPoints.Add(uint64(len(cons)))
+	return cons
+}
+
+// solveMBR runs the 2·d extent LPs of Definition 3 over the given bisector
+// constraints and returns the (un-padded) MBR.
+func (ix *Index) solveMBR(p vec.Point, cons []lp.Constraint) (vec.Rect, error) {
+	prob := &lp.Problem{NumVars: ix.dim, Cons: cons, Lo: ix.bounds.Lo, Hi: ix.bounds.Hi}
+	return ix.solveMBRBox(p, prob)
+}
+
+// solveMBRBox is solveMBR with an explicit variable box (used by the
+// decomposition to restrict the LP to one slab).
+func (ix *Index) solveMBRBox(p vec.Point, prob *lp.Problem) (vec.Rect, error) {
+	d := prob.NumVars
+	mbr := vec.EmptyRect(d)
+	c := make([]float64, d)
+	for j := 0; j < d; j++ {
+		c[j] = 1
+		res, err := lp.Maximize(prob, c)
+		if err != nil {
+			return vec.Rect{}, err
+		}
+		ix.noteLP(res)
+		mbr.Hi[j] = res.Value
+		c[j] = -1
+		res, err = lp.Maximize(prob, c)
+		if err != nil {
+			return vec.Rect{}, err
+		}
+		ix.noteLP(res)
+		mbr.Lo[j] = -res.Value
+		c[j] = 0
+		// The point itself is feasible, so the extent must straddle it;
+		// enforce it against numerical shaving.
+		if mbr.Lo[j] > p[j] {
+			mbr.Lo[j] = p[j]
+		}
+		if mbr.Hi[j] < p[j] {
+			mbr.Hi[j] = p[j]
+		}
+	}
+	return mbr, nil
+}
+
+func (ix *Index) noteLP(res *lp.Result) {
+	ix.stats.lpSolves.Add(1)
+	ix.stats.lpPivots.Add(uint64(res.Iterations))
+}
+
+// correctMBR computes the exact MBR approximation with sound pruning: if the
+// cell of P is contained in the ball B(P,R), then every point farther than
+// 2R from P has a bisector that cannot cut the cell, so it can be dropped
+// without changing the LP optimum. The radius starts at an estimate from the
+// nearest neighbors and grows until the solved MBR certifies itself
+// (max corner distance ≤ R) or every live point is included.
+func (ix *Index) correctMBR(i int) (vec.Rect, []lp.Constraint, error) {
+	p := ix.points[i]
+	r := ix.initialRadius(i)
+	maxR := cornerDist(p, ix.bounds)
+	for {
+		ids, all := ix.pointsWithin(i, 2*r)
+		cons := ix.bisectors(p, ids)
+		mbr, err := ix.solveMBR(p, cons)
+		if err != nil {
+			return vec.Rect{}, nil, err
+		}
+		reach := cornerDist(p, mbr)
+		if all || reach <= r {
+			return mbr, cons, nil
+		}
+		r = math.Max(reach, 2*r)
+		if r > maxR {
+			r = maxR
+		}
+	}
+}
+
+// initialRadius estimates the cell radius as twice the distance to the
+// nearest live neighbor (cheap, from the data index); any underestimate only
+// costs an extra pruning round, never correctness.
+func (ix *Index) initialRadius(i int) float64 {
+	nbrs := ix.dataIdx.KNearest(ix.points[i], 2)
+	for _, nb := range nbrs {
+		if int(nb.Entry.Data) != i {
+			return 2 * math.Sqrt(nb.Dist2)
+		}
+	}
+	return cornerDist(ix.points[i], ix.bounds)
+}
+
+// pointsWithin returns the ids of live points other than i within distance
+// radius of point i, and whether that is every live point.
+func (ix *Index) pointsWithin(i int, radius float64) (ids []int, all bool) {
+	p := ix.points[i]
+	r2 := radius * radius
+	others := 0
+	metric := vec.Euclidean{}
+	for id, q := range ix.points {
+		if q == nil || id == i {
+			continue
+		}
+		others++
+		if metric.Dist2(p, q) <= r2 {
+			ids = append(ids, id)
+		}
+	}
+	return ids, len(ids) == others
+}
+
+// cornerDist is the distance from p to the farthest corner of r.
+func cornerDist(p vec.Point, r vec.Rect) float64 {
+	s := 0.0
+	for j := range p {
+		d1 := p[j] - r.Lo[j]
+		d2 := p[j] - r.Hi[j]
+		s += math.Max(d1*d1, d2*d2)
+	}
+	return math.Sqrt(s)
+}
+
+// selectConstraintPoints implements the optimized constraint-selection
+// algorithms (Point, Sphere, NN-Direction). Any subset of the full point set
+// is sound (Lemma 1): fewer constraints can only enlarge the approximation.
+func (ix *Index) selectConstraintPoints(i int) []int {
+	p := ix.points[i]
+	switch ix.opts.Algorithm {
+	case PointAlg:
+		return ix.capClosest(p, ix.leafRegionPoints(i, func(r vec.Rect) bool { return r.Contains(p) }))
+	case Sphere:
+		radius := SphereRadius(ix.alive, ix.dim, ix.opts.SphereRadiusScale)
+		return ix.capClosest(p, ix.leafRegionPoints(i, func(r vec.Rect) bool { return r.IntersectsSphere(p, radius) }))
+	case NNDirection:
+		return ix.nnDirectionPoints(i)
+	default:
+		panic(fmt.Sprintf("nncell: selectConstraintPoints with algorithm %v", ix.opts.Algorithm))
+	}
+}
+
+// capClosest truncates a constraint-point set to the MaxConstraintPoints
+// closest points (no-op when the cap is unset or not exceeded).
+func (ix *Index) capClosest(p vec.Point, ids []int) []int {
+	limit := ix.opts.MaxConstraintPoints
+	if limit <= 0 || len(ids) <= limit {
+		return ids
+	}
+	metric := vec.Euclidean{}
+	sort.Slice(ids, func(a, b int) bool {
+		return metric.Dist2(p, ix.points[ids[a]]) < metric.Dist2(p, ix.points[ids[b]])
+	})
+	return ids[:limit]
+}
+
+// leafRegionPoints gathers the data points stored on index pages whose page
+// region satisfies pred — the paper's "Point" and "Sphere" selections.
+func (ix *Index) leafRegionPoints(i int, pred func(vec.Rect) bool) []int {
+	var ids []int
+	ix.dataIdx.VisitLeafRegions(pred, func(e xtree.Entry) bool {
+		if int(e.Data) != i {
+			ids = append(ids, int(e.Data))
+		}
+		return true
+	})
+	return ids
+}
+
+// nnDirectionPoints selects, for each of the 2·d axis directions, the
+// nearest point in that direction and the point with the smallest angular
+// deviation from the axis. Both are drawn from a constant-size nearest-
+// neighbor pool obtained with one index query, keeping the selection O(d)
+// points as the paper requires for its O(d!) LP bound.
+func (ix *Index) nnDirectionPoints(i int) []int {
+	p := ix.points[i]
+	d := ix.dim
+	poolSize := 8 * d
+	if poolSize < 16 {
+		poolSize = 16
+	}
+	if poolSize > 128 {
+		poolSize = 128
+	}
+	pool := ix.dataIdx.KNearest(p, poolSize+1) // +1: the pool includes i itself
+
+	type pick struct {
+		nearest, axial int
+		nearD, axialD  float64
+	}
+	picks := make([]pick, 2*d)
+	for k := range picks {
+		picks[k] = pick{nearest: -1, axial: -1, nearD: math.Inf(1), axialD: math.Inf(1)}
+	}
+	for _, nb := range pool {
+		id := int(nb.Entry.Data)
+		if id == i {
+			continue
+		}
+		q := ix.points[id]
+		if q == nil {
+			continue
+		}
+		d2 := nb.Dist2
+		for j := 0; j < d; j++ {
+			comp := q[j] - p[j]
+			var slot int
+			if comp > 0 {
+				slot = 2 * j
+			} else if comp < 0 {
+				slot = 2*j + 1
+			} else {
+				continue
+			}
+			if d2 < picks[slot].nearD {
+				picks[slot].nearD = d2
+				picks[slot].nearest = id
+			}
+			// Angular deviation from the axis: sin²θ = 1 − comp²/‖q−p‖².
+			if d2 > 0 {
+				dev := 1 - comp*comp/d2
+				if dev < picks[slot].axialD {
+					picks[slot].axialD = dev
+					picks[slot].axial = id
+				}
+			}
+		}
+	}
+	seen := make(map[int]bool, 4*d)
+	var ids []int
+	for _, pk := range picks {
+		for _, id := range []int{pk.nearest, pk.axial} {
+			if id >= 0 && !seen[id] {
+				seen[id] = true
+				ids = append(ids, id)
+			}
+		}
+	}
+	return ids
+}

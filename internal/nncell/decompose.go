@@ -1,0 +1,187 @@
+package nncell
+
+import (
+	"sort"
+
+	"repro/internal/lp"
+	"repro/internal/vec"
+)
+
+// decompose implements the MBR decomposition of Definition 5: the cell is cut
+// into equal slabs along its most oblique dimensions, each fragment gets its
+// own MBR (solved with the same constraints restricted to the slab box), and
+// empty fragments are dropped. The total fragment budget is Options.Decompose
+// (the paper's k ≤ 10); partition counts per dimension decrease with
+// decreasing obliqueness, realized here by repeated doubling in rank order.
+func (ix *Index) decompose(p vec.Point, cons []lp.Constraint, mbr vec.Rect) ([]vec.Rect, error) {
+	k := ix.opts.Decompose
+	ranked := ix.rankDimensions(p, cons, mbr)
+	// Assign partition counts by doubling along the obliqueness ranking
+	// until the budget is exhausted: k=10 → (2,2,2), k=4 → (2,2), k=16 →
+	// (4,2,2) after the second pass, etc.
+	counts := make(map[int]int)
+	prod := 1
+	for pass := 0; ; pass++ {
+		progressed := false
+		for _, dim := range ranked {
+			if prod*2 > k {
+				break
+			}
+			if counts[dim] == 0 {
+				counts[dim] = 1
+			}
+			counts[dim] *= 2
+			prod *= 2
+			progressed = true
+		}
+		if !progressed || prod*2 > k {
+			break
+		}
+	}
+	if prod == 1 {
+		return []vec.Rect{ix.finishRect(mbr)}, nil
+	}
+	splitDims := make([]int, 0, len(counts))
+	for dim := range counts {
+		splitDims = append(splitDims, dim)
+	}
+	sort.Ints(splitDims)
+
+	// Enumerate the slab grid with a mixed-radix counter.
+	idx := make([]int, len(splitDims))
+	var frags []vec.Rect
+	for {
+		box := mbr.Clone()
+		degenerate := false
+		for t, dim := range splitDims {
+			n := counts[dim]
+			lo, hi := mbr.Lo[dim], mbr.Hi[dim]
+			w := (hi - lo) / float64(n)
+			if w <= 0 {
+				degenerate = true
+				break
+			}
+			box.Lo[dim] = lo + float64(idx[t])*w
+			box.Hi[dim] = lo + float64(idx[t]+1)*w
+		}
+		if degenerate {
+			// Zero extent in a split dimension: the whole cell is this slab.
+			return []vec.Rect{ix.finishRect(mbr)}, nil
+		}
+		frag, ok, err := ix.fragmentMBR(p, cons, box)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			frags = append(frags, ix.finishRect(frag))
+		}
+		// Advance the counter.
+		t := 0
+		for ; t < len(splitDims); t++ {
+			idx[t]++
+			if idx[t] < counts[splitDims[t]] {
+				break
+			}
+			idx[t] = 0
+		}
+		if t == len(splitDims) {
+			break
+		}
+	}
+	if len(frags) == 0 {
+		// All slabs infeasible can only be numerical shaving; fall back to
+		// the undecomposed (always sound) approximation.
+		frags = []vec.Rect{ix.finishRect(mbr)}
+	}
+	return frags, nil
+}
+
+// fragmentMBR solves the extent LPs restricted to one slab box. ok=false
+// means the cell does not reach this slab (LP infeasible), so the fragment
+// is empty and needs no index entry.
+func (ix *Index) fragmentMBR(p vec.Point, cons []lp.Constraint, box vec.Rect) (vec.Rect, bool, error) {
+	prob := &lp.Problem{NumVars: ix.dim, Cons: cons, Lo: box.Lo, Hi: box.Hi}
+	mbr, err := ix.solveFragmentBox(prob)
+	if err == lp.ErrInfeasible {
+		return vec.Rect{}, false, nil
+	}
+	if err != nil {
+		return vec.Rect{}, false, err
+	}
+	return mbr, true, nil
+}
+
+// solveFragmentBox is solveMBRBox without the "must contain p" correction:
+// a fragment of P's cell generally does not contain P itself.
+func (ix *Index) solveFragmentBox(prob *lp.Problem) (vec.Rect, error) {
+	d := prob.NumVars
+	mbr := vec.EmptyRect(d)
+	c := make([]float64, d)
+	for j := 0; j < d; j++ {
+		c[j] = 1
+		res, err := lp.Maximize(prob, c)
+		if err != nil {
+			return vec.Rect{}, err
+		}
+		ix.noteLP(res)
+		mbr.Hi[j] = res.Value
+		c[j] = -1
+		res, err = lp.Maximize(prob, c)
+		if err != nil {
+			return vec.Rect{}, err
+		}
+		ix.noteLP(res)
+		mbr.Lo[j] = -res.Value
+		c[j] = 0
+		if mbr.Lo[j] > mbr.Hi[j] {
+			// Numerical inversion on a degenerate fragment.
+			mid := (mbr.Lo[j] + mbr.Hi[j]) / 2
+			mbr.Lo[j], mbr.Hi[j] = mid, mid
+		}
+	}
+	return mbr, nil
+}
+
+// rankDimensions orders dimensions by decreasing obliqueness. VolumeGreedy
+// measures, per dimension, how much total approximation volume a trial 2-way
+// decomposition would save (the paper's goal function in Definition 4);
+// ExtentBased simply prefers long cell extents.
+func (ix *Index) rankDimensions(p vec.Point, cons []lp.Constraint, mbr vec.Rect) []int {
+	d := ix.dim
+	score := make([]float64, d)
+	switch ix.opts.Obliqueness {
+	case ExtentBased:
+		for j := 0; j < d; j++ {
+			score[j] = mbr.Extent(j)
+		}
+	default: // VolumeGreedy
+		vol := mbr.Volume()
+		for j := 0; j < d; j++ {
+			if mbr.Extent(j) <= 4*ix.opts.Epsilon {
+				score[j] = -1
+				continue
+			}
+			mid := (mbr.Lo[j] + mbr.Hi[j]) / 2
+			loBox, hiBox := mbr.SplitAt(j, mid)
+			sub := 0.0
+			for _, box := range []vec.Rect{loBox, hiBox} {
+				frag, ok, err := ix.fragmentMBR(p, cons, box)
+				if err != nil {
+					score[j] = -1
+					sub = vol
+					break
+				}
+				if ok {
+					sub += frag.Volume()
+				}
+			}
+			score[j] = vol - sub
+		}
+	}
+	order := make([]int, d)
+	for j := range order {
+		order[j] = j
+	}
+	sort.SliceStable(order, func(a, b int) bool { return score[order[a]] > score[order[b]] })
+	return order
+}

@@ -1,0 +1,144 @@
+package nncell
+
+import (
+	"fmt"
+
+	"repro/internal/vec"
+	"repro/internal/xtree"
+)
+
+// Insert adds a new point and returns its id, maintaining the precomputed
+// solution space per §2 of the paper: existing NN-cells can only shrink, and
+// only cells whose region intersects the new point's cell are affected. The
+// affected set is over-approximated soundly — every stored approximation
+// intersecting the new cell's outer MBR is recomputed — so the index stays
+// exact (the paper uses a sphere query for the same purpose; a rectangle
+// query against the new cell's MBR is the tighter form of the same idea).
+func (ix *Index) Insert(p vec.Point) (int, error) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if p.Dim() != ix.dim {
+		return 0, fmt.Errorf("nncell: insert of %d-dim point into %d-dim index", p.Dim(), ix.dim)
+	}
+	if !ix.bounds.Contains(p) {
+		return 0, fmt.Errorf("nncell: point %v outside data space %v", p, ix.bounds)
+	}
+	for _, q := range ix.points {
+		if q != nil && q.Equal(p) {
+			return 0, fmt.Errorf("nncell: duplicate point %v", p)
+		}
+	}
+	id := len(ix.points)
+	ix.points = append(ix.points, p.Clone())
+	ix.cells = append(ix.cells, nil)
+	ix.alive++
+	ix.dataIdx.Insert(vec.PointRect(p), int64(id))
+
+	frags, err := ix.approximateCell(id)
+	if err != nil {
+		return 0, fmt.Errorf("nncell: approximating new cell: %w", err)
+	}
+	ix.storeCell(id, frags)
+
+	// Recompute every cell whose approximation intersects the new cell's
+	// outer MBR (superset of the truly shrinking cells).
+	outer := outerMBR(frags, ix.dim)
+	affected := ix.intersectingCells(outer, id)
+	for _, aid := range affected {
+		if err := ix.recomputeCell(aid); err != nil {
+			return 0, fmt.Errorf("nncell: updating cell %d: %w", aid, err)
+		}
+	}
+	return id, nil
+}
+
+// Delete removes the point with the given id. The cells gaining its
+// territory are its Voronoi neighbors; every cell whose approximation
+// intersects the deleted cell's approximation is recomputed, a sound
+// superset of those neighbors.
+func (ix *Index) Delete(id int) error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if id < 0 || id >= len(ix.points) || ix.points[id] == nil {
+		return fmt.Errorf("nncell: delete of unknown id %d", id)
+	}
+	old := ix.cells[id]
+	p := ix.points[id]
+
+	if !ix.dataIdx.Delete(vec.PointRect(p), int64(id)) {
+		return fmt.Errorf("nncell: id %d missing from data index", id)
+	}
+	ix.removeFragments(id)
+	ix.points[id] = nil
+	ix.cells[id] = nil
+	ix.alive--
+
+	if ix.alive == 0 {
+		return nil
+	}
+	outer := outerMBR(old, ix.dim)
+	affected := ix.intersectingCells(outer, id)
+	for _, aid := range affected {
+		if err := ix.recomputeCell(aid); err != nil {
+			return fmt.Errorf("nncell: updating cell %d: %w", aid, err)
+		}
+	}
+	return nil
+}
+
+// recomputeCell refreshes one cell's stored approximation.
+func (ix *Index) recomputeCell(id int) error {
+	frags, err := ix.approximateCell(id)
+	if err != nil {
+		return err
+	}
+	ix.removeFragments(id)
+	ix.storeCell(id, frags)
+	ix.stats.updates.Add(1)
+	return nil
+}
+
+// storeCell records the fragments of a cell and inserts them into the tree.
+func (ix *Index) storeCell(id int, frags []vec.Rect) {
+	ix.cells[id] = frags
+	for _, r := range frags {
+		ix.tree.Insert(r, int64(id))
+		ix.stats.fragments.Add(1)
+	}
+}
+
+// removeFragments deletes all of a cell's fragments from the tree.
+func (ix *Index) removeFragments(id int) {
+	for _, r := range ix.cells[id] {
+		if !ix.tree.Delete(r, int64(id)) {
+			panic(fmt.Sprintf("nncell: fragment of cell %d missing from tree", id))
+		}
+		ix.stats.fragments.Add(^uint64(0)) // decrement
+	}
+	ix.cells[id] = nil
+}
+
+// intersectingCells returns the distinct live cell ids (≠ exclude) whose
+// stored approximation intersects r.
+func (ix *Index) intersectingCells(r vec.Rect, exclude int) []int {
+	seen := make(map[int]bool)
+	var ids []int
+	ix.tree.Search(r, func(e xtree.Entry) bool {
+		id := int(e.Data)
+		if id != exclude && ix.points[id] != nil && !seen[id] {
+			seen[id] = true
+			ids = append(ids, id)
+		}
+		return true
+	})
+	return ids
+}
+
+// outerMBR is the union of a cell's fragment rectangles.
+func outerMBR(frags []vec.Rect, d int) vec.Rect {
+	out := vec.EmptyRect(d)
+	for _, r := range frags {
+		out.UnionInPlace(r)
+	}
+	return out
+}

@@ -1,0 +1,370 @@
+// Package nncell implements the paper's contribution: nearest-neighbor
+// search by precomputing and indexing the solution space.
+//
+// For every data point P the first-order Voronoi cell ("NN-cell", Definition
+// 2) — the set of all query points whose nearest neighbor is P — is
+// approximated by its minimum bounding hyper-rectangle (Definition 3). Each
+// MBR boundary is the optimum of a linear program whose constraints are the
+// bisector half-spaces between P and (a subset of) the other data points.
+// The approximations, optionally decomposed into up to k fragments along the
+// cell's most oblique dimensions (Definition 5), are stored in an X-tree.
+// A nearest-neighbor query is then a point query on that index followed by a
+// distance comparison among the returned candidates; Lemmas 1 and 2 of the
+// paper guarantee no false dismissals, which makes the result exact.
+//
+// The package supports the paper's four constraint-selection algorithms
+// (Correct, Point, Sphere, NN-Direction), parallel bulk construction, and
+// the dynamic case: insertion with affected-cell maintenance and deletion
+// with neighbor recomputation.
+package nncell
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/pager"
+	"repro/internal/vec"
+	"repro/internal/xtree"
+)
+
+// Algorithm selects which data points contribute bisector constraints to the
+// cell-approximation LPs (the paper's four variants, §2).
+type Algorithm int
+
+// The four constraint-selection algorithms of the paper.
+const (
+	// Correct uses every other data point, with a sound iterative pruning
+	// (points farther than twice the current cell radius cannot touch the
+	// cell), yielding the exact MBR approximation.
+	Correct Algorithm = iota
+	// PointAlg uses all points stored on data pages whose page region
+	// contains the point being inserted.
+	PointAlg
+	// Sphere uses all points on data pages whose region intersects a sphere
+	// around the point (radius: the paper's heuristic, see SphereRadius).
+	Sphere
+	// NNDirection uses a constant-size set: the nearest point in each of the
+	// 2d axis directions plus the point with smallest angular deviation from
+	// each of the 2d axes.
+	NNDirection
+)
+
+// String returns the paper's name for the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case Correct:
+		return "Correct"
+	case PointAlg:
+		return "Point"
+	case Sphere:
+		return "Sphere"
+	case NNDirection:
+		return "NN-Direction"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Algorithms lists all constraint-selection variants in the paper's order.
+func Algorithms() []Algorithm { return []Algorithm{Correct, PointAlg, Sphere, NNDirection} }
+
+// ObliquenessHeuristic selects how decomposition ranks dimensions.
+type ObliquenessHeuristic int
+
+const (
+	// VolumeGreedy ranks dimensions by the measured volume reduction of a
+	// trial 2-way decomposition (solves extra LPs; highest quality).
+	VolumeGreedy ObliquenessHeuristic = iota
+	// ExtentBased ranks dimensions by cell extent (no extra LPs; cheap).
+	ExtentBased
+)
+
+// Options configure index construction.
+type Options struct {
+	// Algorithm is the constraint-selection variant. Default Correct.
+	Algorithm Algorithm
+	// Decompose is the fragment budget k per cell (Definition 5). Values
+	// 0 and 1 mean no decomposition. The paper recommends k ≤ 10.
+	Decompose int
+	// Obliqueness picks the decomposition ranking heuristic.
+	Obliqueness ObliquenessHeuristic
+	// SphereRadiusScale multiplies the Sphere algorithm's heuristic radius.
+	// Default 1.
+	SphereRadiusScale float64
+	// MaxConstraintPoints caps the constraint-set size of the Point and
+	// Sphere selections (0 = unlimited). On heavily clustered data those
+	// selections can degenerate to nearly all points — the pathology §2 of
+	// the paper reports for real data; capping keeps the closest points,
+	// which is sound by Lemma 1 (any subset only enlarges the MBR).
+	MaxConstraintPoints int
+	// Workers bounds build parallelism. Default: GOMAXPROCS.
+	Workers int
+	// XTree passes structural options to the backing X-tree.
+	XTree xtree.Options
+	// Epsilon pads every stored MBR to absorb LP tolerance; queries remain
+	// exact regardless (a scan fallback catches the pathological case), the
+	// padding merely keeps the fallback rare. Default 1e-9.
+	Epsilon float64
+}
+
+func (o *Options) normalize() {
+	if o.Decompose < 1 {
+		o.Decompose = 1
+	}
+	if o.SphereRadiusScale <= 0 {
+		o.SphereRadiusScale = 1
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Epsilon <= 0 {
+		o.Epsilon = 1e-9
+	}
+}
+
+// Stats aggregates counters for experiments.
+type Stats struct {
+	// LPSolves and LPPivots count linear programs run and simplex pivots.
+	LPSolves, LPPivots uint64
+	// ConstraintPoints sums the constraint-set sizes over all LP batches
+	// (one batch = one cell side set), for the quality/performance analysis
+	// of Fig. 4/5.
+	ConstraintPoints uint64
+	// Fragments is the number of rectangles in the index.
+	Fragments uint64
+	// Queries, Candidates and Fallbacks describe query-time behaviour:
+	// candidate cells inspected, and exact-scan fallbacks taken (0 in
+	// normal operation).
+	Queries, Candidates, Fallbacks uint64
+	// Updates counts affected-cell recomputations due to Insert/Delete.
+	Updates uint64
+}
+
+// Index is a dynamic NN-cell index over a point database.
+type Index struct {
+	dim    int
+	opts   Options
+	pg     *pager.Pager
+	bounds vec.Rect
+
+	mu      sync.RWMutex
+	points  []vec.Point // nil entries are tombstones
+	alive   int
+	cells   [][]vec.Rect // fragment MBRs per point id (nil for tombstones)
+	tree    *xtree.Tree  // fragment MBRs, Data = point id
+	dataIdx *xtree.Tree  // the data points themselves (constraint selection)
+
+	stats struct {
+		lpSolves, lpPivots, constraintPoints atomic.Uint64
+		fragments                            atomic.Uint64
+		queries, candidates, fallbacks       atomic.Uint64
+		updates                              atomic.Uint64
+	}
+}
+
+// ErrEmpty is returned when building over an empty point set.
+var ErrEmpty = errors.New("nncell: empty point set")
+
+// Build constructs the index over points (bulk load): it first indexes the
+// raw points in an X-tree (used by the Point/Sphere/NN-Direction constraint
+// selection), then computes every cell's approximation in parallel against
+// the full point set, and finally loads the fragment MBRs into the cell
+// X-tree. The bounds rectangle is the data space; all points must lie in it.
+// Exact duplicate points are rejected (a duplicated point has an empty
+// NN-cell, which the paper's construction excludes).
+func Build(points []vec.Point, bounds vec.Rect, pg *pager.Pager, opts Options) (*Index, error) {
+	if len(points) == 0 {
+		return nil, ErrEmpty
+	}
+	opts.normalize()
+	d := points[0].Dim()
+	if bounds.Dim() != d {
+		return nil, fmt.Errorf("nncell: bounds dim %d, points dim %d", bounds.Dim(), d)
+	}
+	seen := make(map[string]bool, len(points))
+	for i, p := range points {
+		if p.Dim() != d {
+			return nil, fmt.Errorf("nncell: point %d has dim %d, want %d", i, p.Dim(), d)
+		}
+		if !bounds.Contains(p) {
+			return nil, fmt.Errorf("nncell: point %d = %v outside data space %v", i, p, bounds)
+		}
+		k := fmt.Sprintf("%v", p)
+		if seen[k] {
+			return nil, fmt.Errorf("nncell: duplicate point %v (index %d); deduplicate first", p, i)
+		}
+		seen[k] = true
+	}
+
+	ix := &Index{
+		dim:    d,
+		opts:   opts,
+		pg:     pg,
+		bounds: bounds.Clone(),
+		points: make([]vec.Point, len(points)),
+		cells:  make([][]vec.Rect, len(points)),
+		alive:  len(points),
+	}
+	for i, p := range points {
+		ix.points[i] = p.Clone()
+	}
+
+	// Phase 1: data index for constraint selection (STR bulk load).
+	dataItems := make([]xtree.Entry, len(ix.points))
+	for i, p := range ix.points {
+		dataItems[i] = xtree.Entry{Rect: vec.PointRect(p), Data: int64(i)}
+	}
+	ix.dataIdx = xtree.BulkLoad(d, pg, opts.XTree, dataItems)
+
+	// Phase 2: approximate all cells in parallel.
+	type result struct {
+		id    int
+		rects []vec.Rect
+		err   error
+	}
+	results := make([]result, len(points))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(points) {
+					return
+				}
+				rects, err := ix.approximateCell(i)
+				results[i] = result{i, rects, err}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Phase 3: bulk-load the fragment MBRs into the cell X-tree.
+	var items []xtree.Entry
+	for _, r := range results {
+		if r.err != nil {
+			return nil, fmt.Errorf("nncell: cell %d: %w", r.id, r.err)
+		}
+		ix.cells[r.id] = r.rects
+		for _, rect := range r.rects {
+			items = append(items, xtree.Entry{Rect: rect, Data: int64(r.id)})
+			ix.stats.fragments.Add(1)
+		}
+	}
+	ix.tree = xtree.BulkLoad(d, pg, opts.XTree, items)
+	return ix, nil
+}
+
+// Dim returns the dimensionality.
+func (ix *Index) Dim() int { return ix.dim }
+
+// Len returns the number of live points.
+func (ix *Index) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.alive
+}
+
+// Bounds returns the data space.
+func (ix *Index) Bounds() vec.Rect { return ix.bounds.Clone() }
+
+// Point returns the point with the given id, or ok=false if it was deleted
+// or never existed.
+func (ix *Index) Point(id int) (vec.Point, bool) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if id < 0 || id >= len(ix.points) || ix.points[id] == nil {
+		return nil, false
+	}
+	return ix.points[id].Clone(), true
+}
+
+// CellApprox returns the stored fragment MBRs of the cell of point id.
+func (ix *Index) CellApprox(id int) ([]vec.Rect, bool) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if id < 0 || id >= len(ix.cells) || ix.cells[id] == nil {
+		return nil, false
+	}
+	out := make([]vec.Rect, len(ix.cells[id]))
+	for i, r := range ix.cells[id] {
+		out[i] = r.Clone()
+	}
+	return out, true
+}
+
+// Fragments returns the number of rectangles stored in the index.
+func (ix *Index) Fragments() int { return int(ix.stats.fragments.Load()) }
+
+// Tree exposes the backing X-tree for inspection (read-only use).
+func (ix *Index) Tree() *xtree.Tree { return ix.tree }
+
+// Stats returns a snapshot of the counters.
+func (ix *Index) Stats() Stats {
+	return Stats{
+		LPSolves:         ix.stats.lpSolves.Load(),
+		LPPivots:         ix.stats.lpPivots.Load(),
+		ConstraintPoints: ix.stats.constraintPoints.Load(),
+		Fragments:        ix.stats.fragments.Load(),
+		Queries:          ix.stats.queries.Load(),
+		Candidates:       ix.stats.candidates.Load(),
+		Fallbacks:        ix.stats.fallbacks.Load(),
+		Updates:          ix.stats.updates.Load(),
+	}
+}
+
+// ApproxVolumeSum returns Σ vol(fragments)/vol(DS): the expected number of
+// candidate cells for a uniformly distributed query — the paper's "overlap"
+// quality measure in analytic form. The ideal value is 1.
+func (ix *Index) ApproxVolumeSum() float64 {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	total := 0.0
+	for _, frags := range ix.cells {
+		for _, r := range frags {
+			total += r.IntersectionVolume(ix.bounds)
+		}
+	}
+	v := ix.bounds.Volume()
+	if v == 0 {
+		return 0
+	}
+	return total / v
+}
+
+// SphereRadius returns the Sphere algorithm's heuristic radius for a
+// database of n points in dimension d: a multiple of the expected
+// nearest-neighbor scale n^(-1/d) of the unit data space (the paper reports
+// the heuristic "radius = 2·(1/n)^(1/d)" as working well on uniform data).
+func SphereRadius(n, d int, scale float64) float64 {
+	if n < 1 {
+		n = 1
+	}
+	return 2 * scale * math.Pow(1/float64(n), 1/float64(d))
+}
+
+// IDs returns the ids of all live points in increasing order.
+func (ix *Index) IDs() []int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.sortedIDs()
+}
+
+// sortedIDs returns the live point ids; callers must hold ix.mu.
+func (ix *Index) sortedIDs() []int {
+	ids := make([]int, 0, ix.alive)
+	for i, p := range ix.points {
+		if p != nil {
+			ids = append(ids, i)
+		}
+	}
+	sort.Ints(ids)
+	return ids
+}

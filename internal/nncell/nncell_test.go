@@ -1,0 +1,391 @@
+package nncell
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/pager"
+	"repro/internal/scan"
+	"repro/internal/vec"
+	"repro/internal/voronoi"
+)
+
+func newTestPager() *pager.Pager {
+	return pager.New(pager.Config{PageSize: 4096, CachePages: 0})
+}
+
+func mustBuild(t testing.TB, pts []vec.Point, opts Options) *Index {
+	t.Helper()
+	ix, err := Build(pts, vec.UnitCube(pts[0].Dim()), newTestPager(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func uniquePoints(t testing.TB, name dataset.Name, seed int64, n, d int) []vec.Point {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	pts, err := dataset.Generate(name, rng, n, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dataset.Deduplicate(pts)
+}
+
+func randQuery(rng *rand.Rand, d int) vec.Point {
+	q := make(vec.Point, d)
+	for j := range q {
+		q[j] = rng.Float64()
+	}
+	return q
+}
+
+// In 2-D the Correct algorithm must reproduce the exact Voronoi-cell MBRs
+// computed by half-plane clipping.
+func TestCorrectMatchesExactVoronoi2D(t *testing.T) {
+	pts := uniquePoints(t, dataset.NameUniform, 41, 60, 2)
+	ix := mustBuild(t, pts, Options{Algorithm: Correct})
+	bounds := vec.UnitCube(2)
+	for i := range pts {
+		exact := voronoi.NNCell(pts, i, bounds).MBR()
+		frags, ok := ix.CellApprox(i)
+		if !ok || len(frags) != 1 {
+			t.Fatalf("cell %d: frags=%v ok=%v", i, frags, ok)
+		}
+		got := frags[0]
+		for j := 0; j < 2; j++ {
+			if math.Abs(got.Lo[j]-exact.Lo[j]) > 1e-6 || math.Abs(got.Hi[j]-exact.Hi[j]) > 1e-6 {
+				t.Fatalf("cell %d dim %d: got [%v,%v], exact [%v,%v]",
+					i, j, got.Lo[j], got.Hi[j], exact.Lo[j], exact.Hi[j])
+			}
+		}
+	}
+}
+
+// Lemma 1: the optimized algorithms may only enlarge the correct MBR.
+func TestLemma1OptimizedSupersets(t *testing.T) {
+	pts := uniquePoints(t, dataset.NameUniform, 42, 150, 4)
+	correct := mustBuild(t, pts, Options{Algorithm: Correct})
+	for _, alg := range []Algorithm{PointAlg, Sphere, NNDirection} {
+		opt := mustBuild(t, pts, Options{Algorithm: alg})
+		for i := range pts {
+			cf, _ := correct.CellApprox(i)
+			of, _ := opt.CellApprox(i)
+			if len(cf) != 1 || len(of) != 1 {
+				t.Fatalf("%v cell %d: unexpected fragment counts %d/%d", alg, i, len(cf), len(of))
+			}
+			// Allow epsilon slack (both sides are padded by 1e-9).
+			for j := 0; j < 4; j++ {
+				if of[0].Lo[j] > cf[0].Lo[j]+1e-7 || of[0].Hi[j] < cf[0].Hi[j]-1e-7 {
+					t.Fatalf("%v cell %d: optimized %v does not contain correct %v", alg, i, of[0], cf[0])
+				}
+			}
+		}
+	}
+}
+
+// Lemma 2 / end-to-end exactness: for every algorithm, dataset shape, and
+// decomposition setting, the index must return the true nearest neighbor.
+func TestExactNearestNeighborAllConfigurations(t *testing.T) {
+	configs := []struct {
+		name string
+		opts Options
+	}{
+		{"correct", Options{Algorithm: Correct}},
+		{"point", Options{Algorithm: PointAlg}},
+		{"sphere", Options{Algorithm: Sphere}},
+		{"nndir", Options{Algorithm: NNDirection}},
+		{"correct-decomp4", Options{Algorithm: Correct, Decompose: 4}},
+		{"sphere-decomp8", Options{Algorithm: Sphere, Decompose: 8}},
+		{"nndir-decomp8-extent", Options{Algorithm: NNDirection, Decompose: 8, Obliqueness: ExtentBased}},
+	}
+	shapes := []dataset.Name{dataset.NameUniform, dataset.NameGrid, dataset.NameDiagonal, dataset.NameClustered, dataset.NameFourier}
+	rng := rand.New(rand.NewSource(43))
+	for _, cfg := range configs {
+		for _, shape := range shapes {
+			for _, d := range []int{2, 4, 8} {
+				pts := uniquePoints(t, shape, 100+int64(d), 120, d)
+				ix := mustBuild(t, pts, cfg.opts)
+				oracle := scan.New(pts, vec.Euclidean{}, newTestPager())
+				for trial := 0; trial < 25; trial++ {
+					q := randQuery(rng, d)
+					wantIdx, wantD2 := oracle.Nearest(q)
+					got, err := ix.NearestNeighbor(q)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if math.Abs(got.Dist2-wantD2) > 1e-12 {
+						t.Fatalf("%s/%s d=%d trial %d: got id %d dist %v, want id %d dist %v",
+							cfg.name, shape, d, trial, got.ID, got.Dist2, wantIdx, wantD2)
+					}
+				}
+				if s := ix.Stats(); s.Fallbacks != 0 {
+					t.Errorf("%s/%s d=%d: %d scan fallbacks on in-space queries", cfg.name, shape, d, s.Fallbacks)
+				}
+			}
+		}
+	}
+}
+
+// Data points themselves are queries too: each point's NN is itself.
+func TestSelfQueries(t *testing.T) {
+	pts := uniquePoints(t, dataset.NameClustered, 44, 150, 5)
+	ix := mustBuild(t, pts, Options{Algorithm: Sphere, Decompose: 4})
+	for i, p := range pts {
+		got, err := ix.NearestNeighbor(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.ID != i || got.Dist2 != 0 {
+			t.Fatalf("self-query %d: got id %d dist %v", i, got.ID, got.Dist2)
+		}
+	}
+}
+
+// Out-of-data-space queries fall back to the exact scan.
+func TestOutOfBoundsQueryExact(t *testing.T) {
+	pts := uniquePoints(t, dataset.NameUniform, 45, 80, 3)
+	ix := mustBuild(t, pts, Options{Algorithm: Correct})
+	oracle := scan.New(pts, vec.Euclidean{}, newTestPager())
+	q := vec.Point{1.5, -0.3, 0.5}
+	wantIdx, wantD2 := oracle.Nearest(q)
+	got, err := ix.NearestNeighbor(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != wantIdx || math.Abs(got.Dist2-wantD2) > 1e-12 {
+		t.Fatalf("got %v, want id %d dist %v", got, wantIdx, wantD2)
+	}
+	if s := ix.Stats(); s.Fallbacks != 1 {
+		t.Errorf("fallbacks = %d, want 1", s.Fallbacks)
+	}
+}
+
+// The grid distribution is the paper's best case: approximations coincide
+// with the cells, so every query sees exactly one candidate and the total
+// approximation volume is exactly the data-space volume.
+func TestGridIsPerfect(t *testing.T) {
+	pts := uniquePoints(t, dataset.NameGrid, 46, 81, 2) // 9x9 lattice
+	ix := mustBuild(t, pts, Options{Algorithm: Correct, Epsilon: 1e-12})
+	if vs := ix.ApproxVolumeSum(); math.Abs(vs-1) > 1e-6 {
+		t.Errorf("ApproxVolumeSum = %v, want 1", vs)
+	}
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 200; trial++ {
+		q := randQuery(rng, 2)
+		if c := ix.Candidates(q); len(c) > 2 {
+			// >2 only possible on cell boundaries, which have measure zero.
+			t.Fatalf("grid query %v hit %d candidates", q, len(c))
+		}
+	}
+}
+
+// Approximations are supersets of the cells, and the cells tile the data
+// space, so total approximation volume is at least Vol(DS).
+func TestApproxVolumeLowerBound(t *testing.T) {
+	for _, shape := range []dataset.Name{dataset.NameUniform, dataset.NameDiagonal} {
+		pts := uniquePoints(t, shape, 48, 60, 3)
+		ix := mustBuild(t, pts, Options{Algorithm: Correct})
+		if vs := ix.ApproxVolumeSum(); vs < 1-1e-9 {
+			t.Errorf("%s: ApproxVolumeSum = %v < 1", shape, vs)
+		}
+	}
+}
+
+// Decomposition must reduce (or at least not increase) the total
+// approximation volume, and fragment unions must stay inside the cell MBR.
+func TestDecompositionShrinksVolume(t *testing.T) {
+	pts := uniquePoints(t, dataset.NameDiagonal, 49, 80, 4)
+	plain := mustBuild(t, pts, Options{Algorithm: Correct})
+	dec := mustBuild(t, pts, Options{Algorithm: Correct, Decompose: 8})
+	vPlain, vDec := plain.ApproxVolumeSum(), dec.ApproxVolumeSum()
+	if vDec > vPlain+1e-9 {
+		t.Errorf("decomposed volume %v > plain %v", vDec, vPlain)
+	}
+	if vDec >= vPlain*0.99 {
+		t.Logf("note: decomposition saved little volume (%v -> %v)", vPlain, vDec)
+	}
+	for i := range pts {
+		pf, _ := plain.CellApprox(i)
+		df, _ := dec.CellApprox(i)
+		if len(df) > 8 {
+			t.Fatalf("cell %d has %d fragments > budget 8", i, len(df))
+		}
+		outer := pf[0]
+		for _, f := range df {
+			for j := 0; j < 4; j++ {
+				if f.Lo[j] < outer.Lo[j]-1e-7 || f.Hi[j] > outer.Hi[j]+1e-7 {
+					t.Fatalf("cell %d: fragment %v escapes MBR %v", i, f, outer)
+				}
+			}
+		}
+	}
+}
+
+// KNearest must agree with the scan oracle.
+func TestKNearestMatchesScan(t *testing.T) {
+	pts := uniquePoints(t, dataset.NameUniform, 50, 150, 4)
+	ix := mustBuild(t, pts, Options{Algorithm: Sphere})
+	oracle := scan.New(pts, vec.Euclidean{}, newTestPager())
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 30; trial++ {
+		q := randQuery(rng, 4)
+		k := 1 + rng.Intn(8)
+		want := oracle.KNearest(q, k)
+		got, err := ix.KNearest(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("k=%d: %d results", k, len(got))
+		}
+		for r := range got {
+			if math.Abs(got[r].Dist2-want[r].Dist2) > 1e-12 {
+				t.Fatalf("k=%d rank %d: %v want %v", k, r, got[r].Dist2, want[r].Dist2)
+			}
+		}
+	}
+	if res, _ := ix.KNearest(vec.Point{0, 0, 0, 0}, 0); res != nil {
+		t.Error("k=0 returned results")
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	pg := newTestPager()
+	if _, err := Build(nil, vec.UnitCube(2), pg, Options{}); err != ErrEmpty {
+		t.Errorf("empty build: err = %v", err)
+	}
+	dup := []vec.Point{{0.1, 0.1}, {0.1, 0.1}}
+	if _, err := Build(dup, vec.UnitCube(2), pg, Options{}); err == nil {
+		t.Error("duplicate points accepted")
+	}
+	out := []vec.Point{{0.1, 0.1}, {1.5, 0.5}}
+	if _, err := Build(out, vec.UnitCube(2), pg, Options{}); err == nil {
+		t.Error("out-of-space point accepted")
+	}
+	mixed := []vec.Point{{0.1, 0.1}, {0.2, 0.2, 0.2}}
+	if _, err := Build(mixed, vec.UnitCube(2), pg, Options{}); err == nil {
+		t.Error("mixed dimensionality accepted")
+	}
+	if _, err := Build([]vec.Point{{0.5, 0.5}}, vec.UnitCube(3), pg, Options{}); err == nil {
+		t.Error("bounds dimension mismatch accepted")
+	}
+}
+
+// A single point owns the whole data space.
+func TestSinglePoint(t *testing.T) {
+	ix := mustBuild(t, []vec.Point{{0.3, 0.7}}, Options{Algorithm: Correct})
+	frags, _ := ix.CellApprox(0)
+	if len(frags) != 1 || !frags[0].ContainsRect(vec.UnitCube(2)) {
+		t.Errorf("single-point cell = %v, want the unit cube", frags)
+	}
+	got, err := ix.NearestNeighbor(vec.Point{0.9, 0.1})
+	if err != nil || got.ID != 0 {
+		t.Errorf("NN = %v, %v", got, err)
+	}
+}
+
+// The candidate count behaves like the paper's overlap curves: it grows with
+// dimensionality for uniform data (Fig. 4b).
+func TestOverlapGrowsWithDimension(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	avg := func(d int) float64 {
+		pts := uniquePoints(t, dataset.NameUniform, int64(60+d), 150, d)
+		ix := mustBuild(t, pts, Options{Algorithm: Correct})
+		total := 0
+		const nq = 150
+		for trial := 0; trial < nq; trial++ {
+			total += len(ix.Candidates(randQuery(rng, d)))
+		}
+		return float64(total) / nq
+	}
+	lo, hi := avg(2), avg(8)
+	if hi <= lo {
+		t.Errorf("overlap did not grow with dimension: d=2 %v, d=8 %v", lo, hi)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	pts := uniquePoints(t, dataset.NameUniform, 53, 50, 3)
+	ix := mustBuild(t, pts, Options{Algorithm: Correct})
+	s := ix.Stats()
+	if s.LPSolves == 0 || s.ConstraintPoints == 0 {
+		t.Errorf("no LP accounting: %+v", s)
+	}
+	if int(s.Fragments) != ix.Fragments() || ix.Fragments() != 50 {
+		t.Errorf("fragments = %d / %d", s.Fragments, ix.Fragments())
+	}
+	rng := rand.New(rand.NewSource(54))
+	for i := 0; i < 10; i++ {
+		if _, err := ix.NearestNeighbor(randQuery(rng, 3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s = ix.Stats()
+	if s.Queries != 10 || s.Candidates < 10 {
+		t.Errorf("query stats: %+v", s)
+	}
+}
+
+func BenchmarkBuildCorrectD8N1000(b *testing.B) {
+	pts := uniquePoints(b, dataset.NameUniform, 1, 1000, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mustBuild(b, pts, Options{Algorithm: Correct})
+	}
+}
+
+func BenchmarkQueryD8N1000(b *testing.B) {
+	pts := uniquePoints(b, dataset.NameUniform, 2, 1000, 8)
+	ix := mustBuild(b, pts, Options{Algorithm: Correct})
+	rng := rand.New(rand.NewSource(3))
+	qs := make([]vec.Point, 64)
+	for i := range qs {
+		qs[i] = randQuery(rng, 8)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ix.NearestNeighbor(qs[i%len(qs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The constraint-set cap preserves exactness (Lemma 1: any subset is sound)
+// while bounding the LP size.
+func TestMaxConstraintPointsSoundness(t *testing.T) {
+	pts := uniquePoints(t, dataset.NameClustered, 110, 200, 4)
+	ix := mustBuild(t, pts, Options{Algorithm: Sphere, MaxConstraintPoints: 16})
+	if s := ix.Stats(); s.ConstraintPoints > 16*uint64(len(pts)) {
+		t.Errorf("cap exceeded: %d constraint points for %d cells", s.ConstraintPoints, len(pts))
+	}
+	oracle := scan.New(pts, vec.Euclidean{}, newTestPager())
+	rng := rand.New(rand.NewSource(111))
+	for trial := 0; trial < 60; trial++ {
+		q := randQuery(rng, 4)
+		_, want := oracle.Nearest(q)
+		got, err := ix.NearestNeighbor(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got.Dist2-want) > 1e-12 {
+			t.Fatalf("trial %d: got %v want %v", trial, got.Dist2, want)
+		}
+	}
+	// Capped approximations contain the uncapped (tighter) ones.
+	full := mustBuild(t, pts, Options{Algorithm: Sphere})
+	for i := range pts {
+		cf, _ := ix.CellApprox(i)
+		ff, _ := full.CellApprox(i)
+		for j := 0; j < 4; j++ {
+			if cf[0].Lo[j] > ff[0].Lo[j]+1e-7 || cf[0].Hi[j] < ff[0].Hi[j]-1e-7 {
+				t.Fatalf("cell %d: capped approx %v does not contain uncapped %v", i, cf[0], ff[0])
+			}
+		}
+	}
+}

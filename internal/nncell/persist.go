@@ -1,0 +1,205 @@
+package nncell
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/pager"
+	"repro/internal/vec"
+	"repro/internal/xtree"
+)
+
+// The on-disk format of a saved index. The expensive artifact of this data
+// structure is the precomputed solution space (the LP-solved cell
+// approximations); Save serializes it so Load can rebuild a queryable index
+// without re-running a single linear program. Integers and floats are
+// little-endian; the layout is:
+//
+//	magic   [8]byte  "NNCELLv1"
+//	dim     uint32
+//	flags   uint32   (reserved, 0)
+//	options: algorithm, decompose, obliqueness uint32; sphereScale, epsilon float64
+//	bounds: 2·dim float64
+//	count   uint64   (point slots, including tombstones)
+//	per slot: alive uint8; if alive: dim float64 coordinates,
+//	          nfrags uint32, then per fragment 2·dim float64
+const persistMagic = "NNCELLv1"
+
+// Save writes the index (points, options, and every cell approximation) to w.
+func (ix *Index) Save(w io.Writer) error {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	bw := bufio.NewWriter(w)
+	le := binary.LittleEndian
+
+	if _, err := bw.WriteString(persistMagic); err != nil {
+		return fmt.Errorf("nncell: save: %w", err)
+	}
+	write := func(vs ...interface{}) error {
+		for _, v := range vs {
+			if err := binary.Write(bw, le, v); err != nil {
+				return fmt.Errorf("nncell: save: %w", err)
+			}
+		}
+		return nil
+	}
+	if err := write(
+		uint32(ix.dim), uint32(0),
+		uint32(ix.opts.Algorithm), uint32(ix.opts.Decompose), uint32(ix.opts.Obliqueness),
+		ix.opts.SphereRadiusScale, ix.opts.Epsilon,
+	); err != nil {
+		return err
+	}
+	if err := write(ix.bounds.Lo, ix.bounds.Hi); err != nil {
+		return err
+	}
+	if err := write(uint64(len(ix.points))); err != nil {
+		return err
+	}
+	for id, p := range ix.points {
+		if p == nil {
+			if err := write(uint8(0)); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := write(uint8(1), []float64(p), uint32(len(ix.cells[id]))); err != nil {
+			return err
+		}
+		for _, r := range ix.cells[id] {
+			if err := write([]float64(r.Lo), []float64(r.Hi)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reconstructs a saved index onto a fresh pager. The cell
+// approximations are reused verbatim (no LPs are solved); only the two
+// X-trees are rebuilt, which is pure insertion work.
+func Load(r io.Reader, pg *pager.Pager) (*Index, error) {
+	br := bufio.NewReader(r)
+	le := binary.LittleEndian
+
+	magic := make([]byte, len(persistMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("nncell: load: %w", err)
+	}
+	if string(magic) != persistMagic {
+		return nil, fmt.Errorf("nncell: load: bad magic %q", magic)
+	}
+	read := func(vs ...interface{}) error {
+		for _, v := range vs {
+			if err := binary.Read(br, le, v); err != nil {
+				return fmt.Errorf("nncell: load: %w", err)
+			}
+		}
+		return nil
+	}
+	var dim, flags, alg, decomp, obliq uint32
+	var sphereScale, epsilon float64
+	if err := read(&dim, &flags, &alg, &decomp, &obliq, &sphereScale, &epsilon); err != nil {
+		return nil, err
+	}
+	if dim == 0 || dim > 1<<16 {
+		return nil, fmt.Errorf("nncell: load: implausible dimensionality %d", dim)
+	}
+	if flags != 0 {
+		return nil, fmt.Errorf("nncell: load: unknown flags %#x", flags)
+	}
+	d := int(dim)
+	opts := Options{
+		Algorithm:         Algorithm(alg),
+		Decompose:         int(decomp),
+		Obliqueness:       ObliquenessHeuristic(obliq),
+		SphereRadiusScale: sphereScale,
+		Epsilon:           epsilon,
+	}
+	opts.normalize()
+
+	bounds := vec.EmptyRect(d)
+	if err := read(bounds.Lo, bounds.Hi); err != nil {
+		return nil, err
+	}
+	if bounds.IsEmpty() {
+		return nil, fmt.Errorf("nncell: load: empty data space %v", bounds)
+	}
+	var count uint64
+	if err := read(&count); err != nil {
+		return nil, err
+	}
+	if count > 1<<40 {
+		return nil, fmt.Errorf("nncell: load: implausible point count %d", count)
+	}
+
+	ix := &Index{
+		dim:     d,
+		opts:    opts,
+		pg:      pg,
+		bounds:  bounds,
+		points:  make([]vec.Point, count),
+		cells:   make([][]vec.Rect, count),
+		tree:    xtree.New(d, pg, opts.XTree),
+		dataIdx: xtree.New(d, pg, opts.XTree),
+	}
+	for id := uint64(0); id < count; id++ {
+		var aliveFlag uint8
+		if err := read(&aliveFlag); err != nil {
+			return nil, err
+		}
+		switch aliveFlag {
+		case 0:
+			continue
+		case 1:
+		default:
+			return nil, fmt.Errorf("nncell: load: corrupt alive flag %d at slot %d", aliveFlag, id)
+		}
+		p := make(vec.Point, d)
+		var nfrags uint32
+		if err := read(p, &nfrags); err != nil {
+			return nil, err
+		}
+		if !validPoint(p, bounds) {
+			return nil, fmt.Errorf("nncell: load: point %d = %v outside data space", id, p)
+		}
+		if nfrags == 0 || nfrags > 1<<20 {
+			return nil, fmt.Errorf("nncell: load: implausible fragment count %d for point %d", nfrags, id)
+		}
+		frags := make([]vec.Rect, nfrags)
+		for f := range frags {
+			r := vec.EmptyRect(d)
+			if err := read(r.Lo, r.Hi); err != nil {
+				return nil, err
+			}
+			if r.IsEmpty() {
+				return nil, fmt.Errorf("nncell: load: empty fragment %d of point %d", f, id)
+			}
+			frags[f] = r
+		}
+		ix.points[id] = p
+		ix.cells[id] = frags
+		ix.alive++
+		ix.dataIdx.Insert(vec.PointRect(p), int64(id))
+		for _, r := range frags {
+			ix.tree.Insert(r, int64(id))
+			ix.stats.fragments.Add(1)
+		}
+	}
+	if ix.alive == 0 {
+		return nil, ErrEmpty
+	}
+	return ix, nil
+}
+
+func validPoint(p vec.Point, bounds vec.Rect) bool {
+	for _, v := range p {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return bounds.Contains(p)
+}

@@ -1,0 +1,123 @@
+package nncell
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/scan"
+	"repro/internal/vec"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	pts := uniquePoints(t, dataset.NameClustered, 81, 150, 5)
+	orig := mustBuild(t, pts, Options{Algorithm: Sphere, Decompose: 4})
+	// Exercise tombstones in the saved image.
+	if err := orig.Delete(7); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded, err := Load(&buf, newTestPager())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != orig.Len() || loaded.Dim() != orig.Dim() {
+		t.Fatalf("Len/Dim mismatch: %d/%d vs %d/%d", loaded.Len(), loaded.Dim(), orig.Len(), orig.Dim())
+	}
+	if loaded.Stats().LPSolves != 0 {
+		t.Error("Load ran LPs")
+	}
+	// Every stored cell must round-trip exactly.
+	for id := range pts {
+		of, ook := orig.CellApprox(id)
+		lf, lok := loaded.CellApprox(id)
+		if ook != lok {
+			t.Fatalf("cell %d presence mismatch", id)
+		}
+		if !ook {
+			continue
+		}
+		if len(of) != len(lf) {
+			t.Fatalf("cell %d fragment count %d vs %d", id, len(of), len(lf))
+		}
+		for f := range of {
+			if !of[f].Equal(lf[f]) {
+				t.Fatalf("cell %d fragment %d differs", id, f)
+			}
+		}
+	}
+	// And the loaded index answers exactly (including further dynamics).
+	livePts := make([]vec.Point, 0, len(pts))
+	for id := range pts {
+		if p, ok := loaded.Point(id); ok {
+			livePts = append(livePts, p)
+		}
+	}
+	oracle := scan.New(livePts, vec.Euclidean{}, newTestPager())
+	rng := rand.New(rand.NewSource(82))
+	for trial := 0; trial < 40; trial++ {
+		q := randQuery(rng, 5)
+		_, wantD2 := oracle.Nearest(q)
+		got, err := loaded.NearestNeighbor(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got.Dist2-wantD2) > 1e-12 {
+			t.Fatalf("trial %d: got %v want %v", trial, got.Dist2, wantD2)
+		}
+	}
+	if _, err := loaded.Insert(vec.Point{0.123, 0.456, 0.789, 0.321, 0.654}); err != nil {
+		t.Fatalf("insert into loaded index: %v", err)
+	}
+}
+
+func TestLoadRejectsCorruptInput(t *testing.T) {
+	pts := uniquePoints(t, dataset.NameUniform, 83, 20, 3)
+	ix := mustBuild(t, pts, Options{Algorithm: Correct})
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	cases := map[string][]byte{
+		"empty":       {},
+		"bad magic":   append([]byte("NOTMAGIC"), good[8:]...),
+		"truncated":   good[:len(good)/2],
+		"short magic": good[:4],
+	}
+	for name, data := range cases {
+		if _, err := Load(bytes.NewReader(data), newTestPager()); err == nil {
+			t.Errorf("%s: Load accepted corrupt input", name)
+		}
+	}
+	// Bit-flip in the middle must either fail or at least not crash.
+	flipped := append([]byte(nil), good...)
+	flipped[len(flipped)/2] ^= 0xFF
+	func() {
+		defer func() { recover() }() // tolerated: validation error preferred
+		_, _ = Load(bytes.NewReader(flipped), newTestPager())
+	}()
+}
+
+func TestSaveLoadSinglePoint(t *testing.T) {
+	ix := mustBuild(t, []vec.Point{{0.5, 0.5}}, Options{Algorithm: Correct})
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf, newTestPager())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, err := loaded.NearestNeighbor(vec.Point{0.1, 0.9})
+	if err != nil || nb.ID != 0 {
+		t.Errorf("NN = %v, %v", nb, err)
+	}
+}

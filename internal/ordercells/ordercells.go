@@ -1,0 +1,176 @@
+// Package ordercells implements the paper's stated future work — "the
+// application of our technique to k-nearest neighbor search" — for k = 2 in
+// the two-dimensional case, where exact cell geometry is available.
+//
+// Following Definition 1 of the paper, the order-2 Voronoi cell of a point
+// pair {P_i, P_j} is the region whose two nearest neighbors are exactly
+// P_i and P_j. The non-empty order-2 cells tile the data space, and the
+// pairs with non-empty cells are exactly the Delaunay-adjacent pairs of the
+// order-1 diagram. The index precomputes those cells, approximates each by
+// its MBR, and stores the approximations in an X-tree: a 2-NN query becomes
+// a point query plus a distance refinement over the candidate pairs' points,
+// exact by the same no-false-dismissal argument as the paper's Lemma 2.
+package ordercells
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/pager"
+	"repro/internal/vec"
+	"repro/internal/voronoi"
+	"repro/internal/xtree"
+)
+
+// Neighbor is one result point with its squared distance.
+type Neighbor struct {
+	ID    int
+	Dist2 float64
+}
+
+// Index2 answers exact 2-nearest-neighbor queries from precomputed order-2
+// NN-cells. It is static: rebuild to change the point set.
+type Index2 struct {
+	points []vec.Point
+	bounds vec.Rect
+	pairs  [][2]int
+	tree   *xtree.Tree // MBRs of order-2 cells; Data = index into pairs
+}
+
+// epsilon pads stored MBRs against clipping round-off, like the first-order
+// index does; queries stay exact via the scan fallback.
+const epsilon = 1e-9
+
+// ErrTooFew is returned when fewer than two points are given.
+var ErrTooFew = errors.New("ordercells: need at least two points")
+
+// Build2 precomputes the order-2 solution space of the given 2-D points.
+func Build2(points []vec.Point, bounds vec.Rect, pg *pager.Pager) (*Index2, error) {
+	if len(points) < 2 {
+		return nil, ErrTooFew
+	}
+	if bounds.Dim() != 2 {
+		return nil, fmt.Errorf("ordercells: bounds dim %d, want 2", bounds.Dim())
+	}
+	for i, p := range points {
+		if p.Dim() != 2 {
+			return nil, fmt.Errorf("ordercells: point %d has dim %d, want 2", i, p.Dim())
+		}
+		if !bounds.Contains(p) {
+			return nil, fmt.Errorf("ordercells: point %d = %v outside data space", i, p)
+		}
+	}
+	ix := &Index2{
+		points: make([]vec.Point, len(points)),
+		bounds: bounds.Clone(),
+	}
+	for i, p := range points {
+		ix.points[i] = p.Clone()
+	}
+
+	// Candidate pairs: Delaunay-adjacent points, read off the order-1
+	// diagram (a pair's order-2 cell is non-empty iff their order-1 cells
+	// are adjacent, i.e. the bisector supports an edge of both cells).
+	candidates := adjacentPairs(ix.points, bounds)
+
+	var items []xtree.Entry
+	for _, pair := range candidates {
+		cell := voronoi.OrderMCell(ix.points, []int{pair[0], pair[1]}, bounds)
+		if cell.IsEmpty() {
+			continue
+		}
+		mbr := cell.MBR()
+		for j := 0; j < 2; j++ {
+			mbr.Lo[j] -= epsilon
+			mbr.Hi[j] += epsilon
+		}
+		items = append(items, xtree.Entry{Rect: mbr.Clip(bounds), Data: int64(len(ix.pairs))})
+		ix.pairs = append(ix.pairs, pair)
+	}
+	ix.tree = xtree.BulkLoad(2, pg, xtree.Options{}, items)
+	return ix, nil
+}
+
+// adjacentPairs finds every pair whose order-1 cells share an edge: for each
+// point's exact cell polygon, a neighbor is any other point whose bisector
+// passes through a polygon vertex (edges of the cell lie on bisectors or the
+// data-space boundary).
+func adjacentPairs(points []vec.Point, bounds vec.Rect) [][2]int {
+	var pairs [][2]int
+	for i := range points {
+		cell := voronoi.NNCell(points, i, bounds)
+		if cell.IsEmpty() {
+			continue
+		}
+		for j := range points {
+			if j <= i {
+				continue // each pair once; bisector tests are symmetric
+			}
+			a, b := voronoi.Bisector(points[i], points[j])
+			// The bisector supports an edge iff at least two polygon
+			// vertices lie on it (within tolerance).
+			on := 0
+			for _, v := range cell {
+				if diff := a[0]*v[0] + a[1]*v[1] - b; diff < 1e-7 && diff > -1e-7 {
+					on++
+				}
+			}
+			if on >= 2 {
+				pairs = append(pairs, [2]int{i, j})
+			}
+		}
+	}
+	return pairs
+}
+
+// Len returns the number of indexed points.
+func (ix *Index2) Len() int { return len(ix.points) }
+
+// Pairs returns the number of non-empty order-2 cells stored.
+func (ix *Index2) Pairs() int { return len(ix.pairs) }
+
+// TwoNearest returns the two nearest points to q in increasing distance
+// order. The true 2-NN pair's cell contains q, so its two points are always
+// among the candidates; refining by distance over all candidate points
+// therefore yields the exact answer. Out-of-space queries (and the
+// numerically pathological empty-candidate case) fall back to a scan.
+func (ix *Index2) TwoNearest(q vec.Point) ([2]Neighbor, error) {
+	if q.Dim() != 2 {
+		return [2]Neighbor{}, fmt.Errorf("ordercells: query dim %d, want 2", q.Dim())
+	}
+	seen := make(map[int]bool, 8)
+	if ix.bounds.Contains(q) {
+		ix.tree.PointQuery(q, func(e xtree.Entry) bool {
+			pair := ix.pairs[e.Data]
+			seen[pair[0]] = true
+			seen[pair[1]] = true
+			return true
+		})
+	}
+	if len(seen) < 2 {
+		for id := range ix.points {
+			seen[id] = true
+		}
+	}
+	metric := vec.Euclidean{}
+	best := [2]Neighbor{{ID: -1}, {ID: -1}}
+	for id := range seen {
+		d2 := metric.Dist2(q, ix.points[id])
+		switch {
+		case best[0].ID < 0 || d2 < best[0].Dist2:
+			best[1] = best[0]
+			best[0] = Neighbor{ID: id, Dist2: d2}
+		case best[1].ID < 0 || d2 < best[1].Dist2:
+			best[1] = Neighbor{ID: id, Dist2: d2}
+		}
+	}
+	return best, nil
+}
+
+// CandidatePairs returns how many order-2 approximations contain q (the
+// overlap measure for the order-2 index; 1 is ideal).
+func (ix *Index2) CandidatePairs(q vec.Point) int {
+	count := 0
+	ix.tree.PointQuery(q, func(xtree.Entry) bool { count++; return true })
+	return count
+}

@@ -1,0 +1,174 @@
+package ordercells
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/pager"
+	"repro/internal/scan"
+	"repro/internal/vec"
+	"repro/internal/voronoi"
+)
+
+func newTestPager() *pager.Pager {
+	return pager.New(pager.Config{CachePages: 0})
+}
+
+func buildUniform(t testing.TB, seed int64, n int) (*Index2, []vec.Point) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	pts := dataset.Deduplicate(dataset.Uniform(rng, n, 2))
+	ix, err := Build2(pts, vec.UnitCube(2), newTestPager())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix, pts
+}
+
+func TestValidation(t *testing.T) {
+	pg := newTestPager()
+	if _, err := Build2([]vec.Point{{0.5, 0.5}}, vec.UnitCube(2), pg); err != ErrTooFew {
+		t.Errorf("single point: err = %v", err)
+	}
+	if _, err := Build2([]vec.Point{{0.5, 0.5}, {1, 2, 3}}, vec.UnitCube(2), pg); err == nil {
+		t.Error("3-dim point accepted")
+	}
+	if _, err := Build2([]vec.Point{{0.5, 0.5}, {2, 2}}, vec.UnitCube(2), pg); err == nil {
+		t.Error("out-of-space point accepted")
+	}
+	if _, err := Build2([]vec.Point{{0.1, 0.1}, {0.9, 0.9}}, vec.UnitCube(3), pg); err == nil {
+		t.Error("3-dim bounds accepted")
+	}
+}
+
+func TestTwoPoints(t *testing.T) {
+	ix, err := Build2([]vec.Point{{0.2, 0.5}, {0.8, 0.5}}, vec.UnitCube(2), newTestPager())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Pairs() != 1 {
+		t.Fatalf("Pairs = %d, want 1", ix.Pairs())
+	}
+	nb, err := ix.TwoNearest(vec.Point{0.25, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nb[0].ID != 0 || nb[1].ID != 1 {
+		t.Errorf("TwoNearest = %v", nb)
+	}
+}
+
+// Candidate pairs must be exactly the pairs with non-empty order-2 cells
+// (verified against exhaustive pair enumeration on a small set).
+func TestAdjacencyFindsAllNonEmptyCells(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	pts := dataset.Deduplicate(dataset.Uniform(rng, 30, 2))
+	ix, err := Build2(pts, vec.UnitCube(2), newTestPager())
+	if err != nil {
+		t.Fatal(err)
+	}
+	have := map[[2]int]bool{}
+	for _, p := range ix.pairs {
+		have[p] = true
+	}
+	for i := 0; i < len(pts); i++ {
+		for j := i + 1; j < len(pts); j++ {
+			cell := voronoi.OrderMCell(pts, []int{i, j}, vec.UnitCube(2))
+			// Ignore sliver cells below the numeric noise floor.
+			if !cell.IsEmpty() && cell.Area() > 1e-9 && !have[[2]int{i, j}] {
+				t.Errorf("pair (%d,%d) has a cell of area %v but was not indexed", i, j, cell.Area())
+			}
+		}
+	}
+}
+
+// The stored order-2 cells tile the data space.
+func TestStoredCellsTile(t *testing.T) {
+	ix, pts := buildUniform(t, 92, 40)
+	total := 0.0
+	for _, pair := range ix.pairs {
+		total += voronoi.OrderMCell(pts, []int{pair[0], pair[1]}, vec.UnitCube(2)).Area()
+	}
+	if math.Abs(total-1) > 1e-6 {
+		t.Errorf("order-2 cells tile to %v, want 1", total)
+	}
+}
+
+// End-to-end exactness against the scan oracle, including boundary regions.
+func TestTwoNearestMatchesScan(t *testing.T) {
+	for _, shape := range []dataset.Name{dataset.NameUniform, dataset.NameClustered, dataset.NameDiagonal} {
+		rng := rand.New(rand.NewSource(93))
+		pts, err := dataset.Generate(shape, rng, 120, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pts = dataset.Deduplicate(pts)
+		ix, err := Build2(pts, vec.UnitCube(2), newTestPager())
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle := scan.New(pts, vec.Euclidean{}, newTestPager())
+		for trial := 0; trial < 300; trial++ {
+			q := vec.Point{rng.Float64(), rng.Float64()}
+			want := oracle.KNearest(q, 2)
+			got, err := ix.TwoNearest(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for r := 0; r < 2; r++ {
+				if math.Abs(got[r].Dist2-want[r].Dist2) > 1e-12 {
+					t.Fatalf("%s trial %d rank %d: got %v want %v", shape, trial, r, got[r].Dist2, want[r].Dist2)
+				}
+			}
+		}
+	}
+}
+
+func TestOutOfSpaceFallsBack(t *testing.T) {
+	ix, pts := buildUniform(t, 94, 50)
+	oracle := scan.New(pts, vec.Euclidean{}, newTestPager())
+	q := vec.Point{1.4, -0.2}
+	want := oracle.KNearest(q, 2)
+	got, err := ix.TwoNearest(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Dist2 != want[0].Dist2 || got[1].Dist2 != want[1].Dist2 {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestCandidatePairsReasonable(t *testing.T) {
+	ix, _ := buildUniform(t, 95, 100)
+	rng := rand.New(rand.NewSource(96))
+	total := 0
+	const nq = 200
+	for i := 0; i < nq; i++ {
+		total += ix.CandidatePairs(vec.Point{rng.Float64(), rng.Float64()})
+	}
+	avg := float64(total) / nq
+	if avg < 1 {
+		t.Errorf("average candidate pairs %v < 1 (cells must cover queries)", avg)
+	}
+	if avg > 20 {
+		t.Errorf("average candidate pairs %v implausibly high in 2-D", avg)
+	}
+}
+
+func BenchmarkTwoNearest(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pts := dataset.Deduplicate(dataset.Uniform(rng, 1000, 2))
+	ix, err := Build2(pts, vec.UnitCube(2), newTestPager())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ix.TwoNearest(vec.Point{rng.Float64(), rng.Float64()}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

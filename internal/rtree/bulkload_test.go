@@ -1,0 +1,112 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/scan"
+	"repro/internal/vec"
+)
+
+func TestBulkLoadInvariantsAndQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for _, n := range []int{0, 1, 5, 61, 62, 300, 1000} {
+		for _, d := range []int{2, 8} {
+			pts := randPoints(rng, max(n, 1), d)[:n]
+			items := make([]Entry, n)
+			for i, p := range pts {
+				items[i] = Entry{Rect: vec.PointRect(p), Data: int64(i)}
+			}
+			tr := BulkLoad(d, newTestPager(), Options{}, items)
+			if tr.Len() != n {
+				t.Fatalf("n=%d d=%d: Len=%d", n, d, tr.Len())
+			}
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("n=%d d=%d: %v", n, d, err)
+			}
+			if n == 0 {
+				continue
+			}
+			oracle := scan.New(pts, vec.Euclidean{}, newTestPager())
+			for trial := 0; trial < 20; trial++ {
+				q := randPoints(rng, 1, d)[0]
+				_, want := oracle.Nearest(q)
+				_, got, ok := tr.NearestNeighbor(q)
+				if !ok || absDiff(got, want) > 1e-12 {
+					t.Fatalf("n=%d d=%d: NN %v want %v", n, d, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestBulkLoadStaysDynamic(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	pts := randPoints(rng, 400, 4)
+	items := make([]Entry, 300)
+	for i := 0; i < 300; i++ {
+		items[i] = Entry{Rect: vec.PointRect(pts[i]), Data: int64(i)}
+	}
+	tr := BulkLoad(4, newTestPager(), Options{}, items)
+	for i := 300; i < 400; i++ {
+		tr.Insert(vec.PointRect(pts[i]), int64(i))
+	}
+	for i := 0; i < 50; i++ {
+		if !tr.Delete(vec.PointRect(pts[i]), int64(i)) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	oracle := scan.New(pts[50:], vec.Euclidean{}, newTestPager())
+	for trial := 0; trial < 40; trial++ {
+		q := randPoints(rng, 1, 4)[0]
+		_, want := oracle.Nearest(q)
+		_, got, _ := tr.NearestNeighbor(q)
+		if absDiff(got, want) > 1e-12 {
+			t.Fatalf("trial %d: %v want %v", trial, got, want)
+		}
+	}
+}
+
+// Bulk loading must produce a much better packed tree than repeated inserts.
+func TestBulkLoadPacksTighter(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	pts := randPoints(rng, 2000, 6)
+	items := make([]Entry, len(pts))
+	for i, p := range pts {
+		items[i] = Entry{Rect: vec.PointRect(p), Data: int64(i)}
+	}
+	pgBulk := newTestPager()
+	BulkLoad(6, pgBulk, Options{}, items)
+	pgInc := newTestPager()
+	inc := New(6, pgInc, Options{})
+	for i, p := range pts {
+		inc.Insert(vec.PointRect(p), int64(i))
+	}
+	if pgBulk.LivePages() >= pgInc.LivePages() {
+		t.Errorf("bulk pages %d >= incremental pages %d", pgBulk.LivePages(), pgInc.LivePages())
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func BenchmarkBulkLoadD8N10000(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pts := randPoints(rng, 10000, 8)
+	items := make([]Entry, len(pts))
+	for i, p := range pts {
+		items[i] = Entry{Rect: vec.PointRect(p), Data: int64(i)}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BulkLoad(8, newTestPager(), Options{}, items)
+	}
+}

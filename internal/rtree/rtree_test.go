@@ -1,0 +1,410 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/pager"
+	"repro/internal/scan"
+	"repro/internal/vec"
+)
+
+func newTestPager() *pager.Pager {
+	return pager.New(pager.Config{PageSize: 4096, CachePages: 0})
+}
+
+func randPoints(rng *rand.Rand, n, d int) []vec.Point {
+	pts := make([]vec.Point, n)
+	for i := range pts {
+		p := make(vec.Point, d)
+		for j := range p {
+			p[j] = rng.Float64()
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func buildPointTree(t testing.TB, pts []vec.Point, opts Options) *Tree {
+	t.Helper()
+	tr := New(pts[0].Dim(), newTestPager(), opts)
+	for i, p := range pts {
+		tr.Insert(vec.PointRect(p), int64(i))
+	}
+	return tr
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New(2, newTestPager(), Options{})
+	if tr.Len() != 0 || tr.Height() != 1 {
+		t.Errorf("Len=%d Height=%d", tr.Len(), tr.Height())
+	}
+	if _, _, ok := tr.NearestNeighbor(vec.Point{0.5, 0.5}); ok {
+		t.Error("NN on empty tree returned ok")
+	}
+	if got := tr.KNearest(vec.Point{0.5, 0.5}, 3); got != nil {
+		t.Errorf("KNearest on empty tree = %v", got)
+	}
+	if !tr.Bounds().IsEmpty() {
+		t.Error("Bounds of empty tree not empty")
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInsertAndInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, d := range []int{2, 4, 8, 16} {
+		pts := randPoints(rng, 500, d)
+		tr := buildPointTree(t, pts, Options{})
+		if tr.Len() != 500 {
+			t.Fatalf("d=%d: Len=%d", d, tr.Len())
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("d=%d: %v", d, err)
+		}
+		if tr.Height() < 2 {
+			t.Errorf("d=%d: tree did not grow (height %d)", d, tr.Height())
+		}
+	}
+}
+
+func TestPointQueryFindsInsertedPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := randPoints(rng, 300, 3)
+	tr := buildPointTree(t, pts, Options{})
+	for i, p := range pts {
+		found := false
+		tr.PointQuery(p, func(e Entry) bool {
+			if e.Data == int64(i) {
+				found = true
+				return false
+			}
+			return true
+		})
+		if !found {
+			t.Fatalf("point %d not found by PointQuery", i)
+		}
+	}
+}
+
+func TestRangeSearchMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := randPoints(rng, 400, 4)
+	tr := buildPointTree(t, pts, Options{})
+	for trial := 0; trial < 50; trial++ {
+		lo := make(vec.Point, 4)
+		hi := make(vec.Point, 4)
+		for j := range lo {
+			a, b := rng.Float64(), rng.Float64()
+			if a > b {
+				a, b = b, a
+			}
+			lo[j], hi[j] = a, b
+		}
+		q := vec.NewRect(lo, hi)
+		want := map[int64]bool{}
+		for i, p := range pts {
+			if q.Contains(p) {
+				want[int64(i)] = true
+			}
+		}
+		got := map[int64]bool{}
+		tr.Search(q, func(e Entry) bool { got[e.Data] = true; return true })
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d results, want %d", trial, len(got), len(want))
+		}
+		for id := range want {
+			if !got[id] {
+				t.Fatalf("trial %d: missing id %d", trial, id)
+			}
+		}
+	}
+}
+
+func TestSphereQueryMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pts := randPoints(rng, 300, 3)
+	tr := buildPointTree(t, pts, Options{})
+	for trial := 0; trial < 50; trial++ {
+		c := randPoints(rng, 1, 3)[0]
+		radius := rng.Float64() * 0.4
+		want := map[int64]bool{}
+		for i, p := range pts {
+			if (vec.Euclidean{}).Dist2(c, p) <= radius*radius {
+				want[int64(i)] = true
+			}
+		}
+		got := map[int64]bool{}
+		tr.SphereQuery(c, radius, func(e Entry) bool { got[e.Data] = true; return true })
+		for id := range want {
+			if !got[id] {
+				t.Fatalf("trial %d: sphere query missed id %d", trial, id)
+			}
+		}
+	}
+}
+
+func TestNearestNeighborMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, d := range []int{2, 5, 10} {
+		pts := randPoints(rng, 400, d)
+		tr := buildPointTree(t, pts, Options{})
+		oracle := scan.New(pts, vec.Euclidean{}, newTestPager())
+		for trial := 0; trial < 100; trial++ {
+			q := randPoints(rng, 1, d)[0]
+			wantIdx, wantD2 := oracle.Nearest(q)
+			_, gotD2, ok := tr.NearestNeighbor(q)
+			if !ok {
+				t.Fatal("NN returned !ok")
+			}
+			if absDiff(gotD2, wantD2) > 1e-12 {
+				t.Fatalf("d=%d trial %d: NN dist %v, scan %v (idx %d)", d, trial, gotD2, wantD2, wantIdx)
+			}
+			// Depth-first variant must agree.
+			_, dfD2, _ := tr.NearestNeighborDF(q)
+			if absDiff(dfD2, wantD2) > 1e-12 {
+				t.Fatalf("d=%d trial %d: DF NN dist %v, scan %v", d, trial, dfD2, wantD2)
+			}
+		}
+	}
+}
+
+func TestKNearestMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	pts := randPoints(rng, 300, 4)
+	tr := buildPointTree(t, pts, Options{})
+	oracle := scan.New(pts, vec.Euclidean{}, newTestPager())
+	for trial := 0; trial < 30; trial++ {
+		q := randPoints(rng, 1, 4)[0]
+		k := 1 + rng.Intn(10)
+		want := oracle.KNearest(q, k)
+		got := tr.KNearest(q, k)
+		if len(got) != len(want) {
+			t.Fatalf("k=%d: got %d results", k, len(got))
+		}
+		for i := range got {
+			if absDiff(got[i].Dist2, want[i].Dist2) > 1e-12 {
+				t.Fatalf("k=%d rank %d: got %v want %v", k, i, got[i].Dist2, want[i].Dist2)
+			}
+		}
+	}
+	// k larger than the dataset.
+	if got := tr.KNearest(vec.Point{0, 0, 0, 0}, 1000); len(got) != 300 {
+		t.Errorf("oversized k returned %d results", len(got))
+	}
+}
+
+func TestDelete(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pts := randPoints(rng, 250, 3)
+	tr := buildPointTree(t, pts, Options{})
+	// Delete half the points, verifying invariants and searchability.
+	for i := 0; i < 125; i++ {
+		if !tr.Delete(vec.PointRect(pts[i]), int64(i)) {
+			t.Fatalf("Delete(%d) returned false", i)
+		}
+	}
+	if tr.Len() != 125 {
+		t.Fatalf("Len after deletes = %d", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 125; i++ {
+		found := false
+		tr.PointQuery(pts[i], func(e Entry) bool {
+			if e.Data == int64(i) {
+				found = true
+				return false
+			}
+			return true
+		})
+		if found {
+			t.Fatalf("deleted point %d still found", i)
+		}
+	}
+	for i := 125; i < 250; i++ {
+		found := false
+		tr.PointQuery(pts[i], func(e Entry) bool {
+			if e.Data == int64(i) {
+				found = true
+				return false
+			}
+			return true
+		})
+		if !found {
+			t.Fatalf("surviving point %d lost", i)
+		}
+	}
+	// Deleting a non-existent entry.
+	if tr.Delete(vec.PointRect(pts[0]), 0) {
+		t.Error("second delete of same entry succeeded")
+	}
+	// Delete everything.
+	for i := 125; i < 250; i++ {
+		if !tr.Delete(vec.PointRect(pts[i]), int64(i)) {
+			t.Fatalf("Delete(%d) failed", i)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len after full delete = %d", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRectangleEntries(t *testing.T) {
+	// The NN-cell use case: non-degenerate rectangles with point queries.
+	rng := rand.New(rand.NewSource(8))
+	pg := newTestPager()
+	tr := New(2, pg, Options{})
+	type rec struct {
+		r  vec.Rect
+		id int64
+	}
+	var recs []rec
+	for i := 0; i < 200; i++ {
+		a := vec.Point{rng.Float64(), rng.Float64()}
+		b := vec.Point{rng.Float64(), rng.Float64()}
+		r := vec.PointRect(a)
+		r.ExtendPoint(b)
+		recs = append(recs, rec{r, int64(i)})
+		tr.Insert(r, int64(i))
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 100; trial++ {
+		q := vec.Point{rng.Float64(), rng.Float64()}
+		want := map[int64]bool{}
+		for _, rc := range recs {
+			if rc.r.Contains(q) {
+				want[rc.id] = true
+			}
+		}
+		got := map[int64]bool{}
+		tr.PointQuery(q, func(e Entry) bool { got[e.Data] = true; return true })
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d containing rects, want %d", trial, len(got), len(want))
+		}
+	}
+}
+
+func TestDisableReinsert(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pts := randPoints(rng, 300, 4)
+	tr := buildPointTree(t, pts, Options{DisableReinsert: true})
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	oracle := scan.New(pts, vec.Euclidean{}, newTestPager())
+	q := vec.Point{0.3, 0.3, 0.3, 0.3}
+	_, want := oracle.Nearest(q)
+	_, got, _ := tr.NearestNeighbor(q)
+	if absDiff(got, want) > 1e-12 {
+		t.Errorf("NN without reinsert: %v want %v", got, want)
+	}
+}
+
+func TestPageAccountingDuringQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	pts := randPoints(rng, 1000, 8)
+	pg := newTestPager()
+	tr := New(8, pg, Options{})
+	for i, p := range pts {
+		tr.Insert(vec.PointRect(p), int64(i))
+	}
+	pg.ResetStats()
+	tr.NearestNeighbor(vec.Point{0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5})
+	s := pg.Stats()
+	if s.Accesses == 0 {
+		t.Error("NN query recorded no page accesses")
+	}
+	if s.Accesses > uint64(pg.LivePages()) {
+		t.Errorf("NN accessed %d pages, tree has only %d", s.Accesses, pg.LivePages())
+	}
+}
+
+func TestDimMismatchPanics(t *testing.T) {
+	tr := New(2, newTestPager(), Options{})
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on dim mismatch")
+		}
+	}()
+	tr.Insert(vec.PointRect(vec.Point{1, 2, 3}), 0)
+}
+
+// Randomized mixed insert/delete workload with invariant checks throughout.
+func TestMixedWorkload(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	pg := newTestPager()
+	tr := New(3, pg, Options{})
+	live := map[int64]vec.Point{}
+	next := int64(0)
+	for op := 0; op < 2000; op++ {
+		if len(live) == 0 || rng.Float64() < 0.65 {
+			p := vec.Point{rng.Float64(), rng.Float64(), rng.Float64()}
+			tr.Insert(vec.PointRect(p), next)
+			live[next] = p
+			next++
+		} else {
+			var id int64
+			for k := range live {
+				id = k
+				break
+			}
+			if !tr.Delete(vec.PointRect(live[id]), id) {
+				t.Fatalf("op %d: delete of live id %d failed", op, id)
+			}
+			delete(live, id)
+		}
+		if op%250 == 0 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("op %d: %v", op, err)
+			}
+		}
+	}
+	if tr.Len() != len(live) {
+		t.Fatalf("Len=%d, live=%d", tr.Len(), len(live))
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func absDiff(a, b float64) float64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+func BenchmarkInsertD8(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pg := newTestPager()
+	tr := New(8, pg, Options{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := make(vec.Point, 8)
+		for j := range p {
+			p[j] = rng.Float64()
+		}
+		tr.Insert(vec.PointRect(p), int64(i))
+	}
+}
+
+func BenchmarkNearestNeighborD8(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	pts := randPoints(rng, 10000, 8)
+	tr := buildPointTree(b, pts, Options{})
+	qs := randPoints(rng, 64, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.NearestNeighbor(qs[i%len(qs)])
+	}
+}

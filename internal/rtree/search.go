@@ -1,0 +1,204 @@
+package rtree
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"repro/internal/vec"
+)
+
+// Neighbor is one result of a (k-)nearest-neighbor query. Dist2 is the
+// metric's comparison surrogate (squared distance for L2) from the query
+// point to the entry's rectangle.
+type Neighbor struct {
+	Entry Entry
+	Dist2 float64
+}
+
+// PointQuery visits every leaf entry whose rectangle contains p. The visit
+// function returns false to stop early. This is the operation the NN-cell
+// approach reduces nearest-neighbor search to.
+func (t *Tree) PointQuery(p vec.Point, visit func(Entry) bool) {
+	t.searchNode(t.root, func(r vec.Rect) bool { return r.Contains(p) }, visit)
+}
+
+// Search visits every leaf entry whose rectangle intersects q.
+func (t *Tree) Search(q vec.Rect, visit func(Entry) bool) {
+	t.searchNode(t.root, func(r vec.Rect) bool { return r.Intersects(q) }, visit)
+}
+
+// SphereQuery visits every leaf entry whose rectangle intersects the
+// Euclidean ball around center. The paper uses this both for the "Sphere"
+// approximation algorithm and for dynamic insertion maintenance.
+func (t *Tree) SphereQuery(center vec.Point, radius float64, visit func(Entry) bool) {
+	t.searchNode(t.root, func(r vec.Rect) bool { return r.IntersectsSphere(center, radius) }, visit)
+}
+
+// searchNode is the generic overlap-driven traversal; pred must be monotone
+// (true for a child's rect whenever it is true for a contained rect).
+func (t *Tree) searchNode(n *node, pred func(vec.Rect) bool, visit func(Entry) bool) bool {
+	t.pg.Access(n.page)
+	for i := range n.entries {
+		e := &n.entries[i]
+		if !pred(e.rect) {
+			continue
+		}
+		if n.level == 0 {
+			if !visit(Entry{Rect: e.rect, Data: e.data}) {
+				return false
+			}
+		} else if !t.searchNode(e.child, pred, visit) {
+			return false
+		}
+	}
+	return true
+}
+
+// nnHeapItem is either a node (child != nil) or a leaf entry in the best-first
+// priority queue, keyed by MinDist².
+type nnHeapItem struct {
+	dist2 float64
+	child *node
+}
+
+type nnHeap []nnHeapItem
+
+func (h nnHeap) Len() int            { return len(h) }
+func (h nnHeap) Less(i, j int) bool  { return h[i].dist2 < h[j].dist2 }
+func (h nnHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nnHeap) Push(x interface{}) { *h = append(*h, x.(nnHeapItem)) }
+func (h *nnHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// NearestNeighbor returns the leaf entry with minimum MinDist² to q under the
+// Euclidean metric, using the optimal best-first traversal of Hjaltason and
+// Samet [HS 95]. ok is false on an empty tree.
+func (t *Tree) NearestNeighbor(q vec.Point) (e Entry, dist2 float64, ok bool) {
+	res := t.KNearest(q, 1)
+	if len(res) == 0 {
+		return Entry{}, 0, false
+	}
+	return res[0].Entry, res[0].Dist2, true
+}
+
+// KNearest returns the k nearest leaf entries to q in increasing distance
+// order (fewer if the tree holds fewer entries), using the best-first
+// traversal of [HS 95] with a bounded result heap: only nodes enter the
+// priority queue; leaf entries compete in a size-k max-heap, and traversal
+// stops when the nearest unexplored node is farther than the current k-th
+// best candidate.
+func (t *Tree) KNearest(q vec.Point, k int) []Neighbor {
+	if k <= 0 || t.size == 0 {
+		return nil
+	}
+	metric := vec.Euclidean{}
+	nodes := &nnHeap{}
+	heap.Push(nodes, nnHeapItem{dist2: 0, child: t.root})
+	best := &resultHeap{}
+	for nodes.Len() > 0 {
+		it := heap.Pop(nodes).(nnHeapItem)
+		if best.Len() == k && it.dist2 > (*best)[0].Dist2 {
+			break
+		}
+		n := it.child
+		t.pg.Access(n.page)
+		for i := range n.entries {
+			e := &n.entries[i]
+			d2 := metric.MinDist2(q, e.rect)
+			if n.level == 0 {
+				if best.Len() < k {
+					heap.Push(best, Neighbor{Entry: Entry{Rect: e.rect, Data: e.data}, Dist2: d2})
+				} else if d2 < (*best)[0].Dist2 {
+					(*best)[0] = Neighbor{Entry: Entry{Rect: e.rect, Data: e.data}, Dist2: d2}
+					heap.Fix(best, 0)
+				}
+			} else if best.Len() < k || d2 <= (*best)[0].Dist2 {
+				heap.Push(nodes, nnHeapItem{dist2: d2, child: e.child})
+			}
+		}
+	}
+	out := make([]Neighbor, best.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(best).(Neighbor)
+	}
+	return out
+}
+
+// resultHeap is a max-heap of the current k best candidates (root = worst).
+type resultHeap []Neighbor
+
+func (h resultHeap) Len() int            { return len(h) }
+func (h resultHeap) Less(i, j int) bool  { return h[i].Dist2 > h[j].Dist2 }
+func (h resultHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *resultHeap) Push(x interface{}) { *h = append(*h, x.(Neighbor)) }
+func (h *resultHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// NearestNeighborDF is the depth-first branch-and-bound nearest-neighbor
+// search of Roussopoulos, Kelley and Vincent [RKV 95]: active branch lists
+// sorted by MINDIST, pruned with MINMAXDIST. This is the R-tree NN algorithm
+// the paper benchmarks against (its CPU cost — sorting nodes by min–max
+// distance — is what Fig. 9 attributes the R-tree's slowness to).
+func (t *Tree) NearestNeighborDF(q vec.Point) (e Entry, dist2 float64, ok bool) {
+	if t.size == 0 {
+		return Entry{}, 0, false
+	}
+	best := math.Inf(1)
+	var bestEntry Entry
+	t.nnDF(t.root, q, &best, &bestEntry)
+	return bestEntry, best, true
+}
+
+func (t *Tree) nnDF(n *node, q vec.Point, best *float64, bestEntry *Entry) {
+	t.pg.Access(n.page)
+	metric := vec.Euclidean{}
+	if n.level == 0 {
+		for i := range n.entries {
+			e := &n.entries[i]
+			if d2 := metric.MinDist2(q, e.rect); d2 < *best {
+				*best = d2
+				*bestEntry = Entry{Rect: e.rect, Data: e.data}
+			}
+		}
+		return
+	}
+	// Build the active branch list: (MINDIST, MINMAXDIST) per child.
+	type branch struct {
+		idx              int
+		minDist, minMax2 float64
+	}
+	abl := make([]branch, 0, len(n.entries))
+	for i := range n.entries {
+		abl = append(abl, branch{
+			idx:     i,
+			minDist: metric.MinDist2(q, n.entries[i].rect),
+			minMax2: vec.MinMaxDist2(q, n.entries[i].rect),
+		})
+	}
+	sort.Slice(abl, func(a, b int) bool { return abl[a].minDist < abl[b].minDist })
+	// Downward pruning: a branch whose MINDIST exceeds the smallest
+	// MINMAXDIST cannot contain the NN.
+	minMinMax := math.Inf(1)
+	for _, b := range abl {
+		if b.minMax2 < minMinMax {
+			minMinMax = b.minMax2
+		}
+	}
+	for _, b := range abl {
+		if b.minDist > *best || b.minDist > minMinMax {
+			continue
+		}
+		t.nnDF(n.entries[b.idx].child, q, best, bestEntry)
+	}
+}

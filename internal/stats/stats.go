@@ -1,0 +1,194 @@
+// Package stats provides the small measurement utilities used by the CLI
+// tools and experiment harness: a log-bucketed latency histogram with
+// quantile estimates, and a running scalar summary. Everything is
+// allocation-free on the hot path and safe for concurrent use.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync"
+	"time"
+)
+
+// Histogram accumulates durations into power-of-two nanosecond buckets
+// (bucket i covers [2^i, 2^(i+1)) ns), giving ~factor-2 quantile resolution
+// over twelve orders of magnitude with a fixed 64-counter footprint.
+type Histogram struct {
+	mu      sync.Mutex
+	buckets [64]uint64
+	count   uint64
+	sum     time.Duration
+	min     time.Duration
+	max     time.Duration
+}
+
+// Observe records one duration. Negative durations count as zero.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	idx := 0
+	if d > 0 {
+		idx = bits.Len64(uint64(d)) - 1
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.buckets[idx]++
+	h.count++
+	h.sum += d
+	if h.count == 1 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Mean returns the average observed duration (0 if empty).
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.count)
+}
+
+// Min and Max return the observed extremes (0 if empty).
+func (h *Histogram) Min() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.min
+}
+
+// Max returns the largest observed duration (0 if empty).
+func (h *Histogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// Quantile returns an upper-bound estimate of the q-quantile (q in [0,1]):
+// the upper edge of the bucket containing the q-th observation, clamped to
+// the observed maximum. It returns 0 for an empty histogram.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if math.IsNaN(q) {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(h.count)))
+	if rank == 0 {
+		rank = 1
+	}
+	seen := uint64(0)
+	for i, c := range h.buckets {
+		seen += c
+		if seen >= rank {
+			upper := time.Duration(1) << uint(i+1)
+			if upper > h.max && h.max > 0 {
+				upper = h.max
+			}
+			if upper < h.min {
+				upper = h.min
+			}
+			return upper
+		}
+	}
+	return h.max
+}
+
+// String renders a one-line summary suitable for CLI output.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p90=%v p99=%v max=%v",
+		h.Count(), h.Mean().Round(time.Microsecond),
+		h.Quantile(0.5).Round(time.Microsecond),
+		h.Quantile(0.9).Round(time.Microsecond),
+		h.Quantile(0.99).Round(time.Microsecond),
+		h.Max().Round(time.Microsecond))
+}
+
+// Summary tracks running mean/min/max of a scalar series (Welford's method
+// for the variance).
+type Summary struct {
+	mu       sync.Mutex
+	count    uint64
+	mean, m2 float64
+	min, max float64
+}
+
+// Observe records one value.
+func (s *Summary) Observe(v float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.count++
+	if s.count == 1 {
+		s.min, s.max = v, v
+	} else {
+		if v < s.min {
+			s.min = v
+		}
+		if v > s.max {
+			s.max = v
+		}
+	}
+	delta := v - s.mean
+	s.mean += delta / float64(s.count)
+	s.m2 += delta * (v - s.mean)
+}
+
+// Count returns the number of observations.
+func (s *Summary) Count() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}
+
+// Mean returns the running mean (0 if empty).
+func (s *Summary) Mean() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mean
+}
+
+// StdDev returns the sample standard deviation (0 for < 2 observations).
+func (s *Summary) StdDev() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.count < 2 {
+		return 0
+	}
+	return math.Sqrt(s.m2 / float64(s.count-1))
+}
+
+// Min returns the smallest observation (0 if empty).
+func (s *Summary) Min() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.min
+}
+
+// Max returns the largest observation (0 if empty).
+func (s *Summary) Max() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.max
+}

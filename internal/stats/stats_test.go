@@ -1,0 +1,134 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 || h.Max() != 0 {
+		t.Error("empty histogram not zeroed")
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	for _, d := range []time.Duration{1, 2, 4, 8, 16} {
+		h.Observe(d * time.Microsecond)
+	}
+	if h.Count() != 5 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	wantMean := time.Duration(31) * time.Microsecond / 5
+	if h.Mean() != wantMean {
+		t.Errorf("Mean = %v, want %v", h.Mean(), wantMean)
+	}
+	if h.Min() != time.Microsecond || h.Max() != 16*time.Microsecond {
+		t.Errorf("Min/Max = %v/%v", h.Min(), h.Max())
+	}
+	h.Observe(-5) // clamps to zero
+	if h.Min() != 0 {
+		t.Errorf("negative observation: Min = %v", h.Min())
+	}
+}
+
+// Quantile estimates must bracket the true quantile within one bucket
+// (factor 2).
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var h Histogram
+	var all []time.Duration
+	for i := 0; i < 5000; i++ {
+		d := time.Duration(rng.Intn(1_000_000)) * time.Nanosecond
+		all = append(all, d)
+		h.Observe(d)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		truth := all[int(math.Ceil(q*float64(len(all))))-1]
+		got := h.Quantile(q)
+		if got < truth {
+			t.Errorf("q=%v: estimate %v below true %v", q, got, truth)
+		}
+		if got > truth*2+2 {
+			t.Errorf("q=%v: estimate %v more than 2x true %v", q, got, truth)
+		}
+	}
+	// Clamping of out-of-range q.
+	if h.Quantile(-1) == 0 || h.Quantile(2) == 0 {
+		t.Error("clamped quantiles returned zero")
+	}
+	if h.Quantile(math.NaN()) != 0 {
+		t.Error("NaN quantile should be 0")
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Duration(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Errorf("Count = %d", h.Count())
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Millisecond)
+	s := h.String()
+	if s == "" || h.Count() != 1 {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.StdDev() != 0 || s.Count() != 0 {
+		t.Error("empty summary not zeroed")
+	}
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Observe(v)
+	}
+	if s.Count() != 8 || s.Mean() != 5 {
+		t.Errorf("Count/Mean = %d/%v", s.Count(), s.Mean())
+	}
+	// Sample stddev of this classic set is sqrt(32/7).
+	if math.Abs(s.StdDev()-math.Sqrt(32.0/7)) > 1e-12 {
+		t.Errorf("StdDev = %v", s.StdDev())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestSummaryConcurrent(t *testing.T) {
+	var s Summary
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				s.Observe(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Count() != 4000 || s.Mean() != 1 || s.StdDev() != 0 {
+		t.Errorf("summary = %d/%v/%v", s.Count(), s.Mean(), s.StdDev())
+	}
+}

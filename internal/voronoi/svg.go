@@ -1,0 +1,68 @@
+package voronoi
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/vec"
+)
+
+// SVGOptions control RenderSVG output.
+type SVGOptions struct {
+	// Width is the image width in pixels (height follows the bounds' aspect
+	// ratio). Default 480.
+	Width int
+	// ShowMBRs draws the cells' MBR approximations on top of the cells,
+	// reproducing the paper's Figure 2 panels (NN-diagram vs MBR diagram).
+	ShowMBRs bool
+}
+
+// RenderSVG renders the NN-diagram of the points (and optionally the MBR
+// approximations of the cells) as a standalone SVG document — a faithful
+// rendition of the paper's Figure 2. Cells are filled from a muted rotating
+// palette, data points are black dots, MBRs are red outlines.
+func RenderSVG(points []vec.Point, bounds vec.Rect, opts SVGOptions) string {
+	if opts.Width <= 0 {
+		opts.Width = 480
+	}
+	w := float64(opts.Width)
+	h := w * bounds.Extent(1) / bounds.Extent(0)
+	sx := func(x float64) float64 { return (x - bounds.Lo[0]) / bounds.Extent(0) * w }
+	sy := func(y float64) float64 { return h - (y-bounds.Lo[1])/bounds.Extent(1)*h }
+
+	palette := []string{
+		"#dbeafe", "#dcfce7", "#fef9c3", "#fee2e2", "#f3e8ff",
+		"#e0f2fe", "#fce7f3", "#ecfccb", "#ffedd5", "#e2e8f0",
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n", w, h, w, h)
+	fmt.Fprintf(&b, `<rect width="%.0f" height="%.0f" fill="white"/>`+"\n", w, h)
+
+	cells := NNDiagram(points, bounds)
+	for i, cell := range cells {
+		if cell.IsEmpty() {
+			continue
+		}
+		var pts []string
+		for _, v := range cell {
+			pts = append(pts, fmt.Sprintf("%.2f,%.2f", sx(v[0]), sy(v[1])))
+		}
+		fmt.Fprintf(&b, `<polygon points="%s" fill="%s" stroke="#64748b" stroke-width="1"/>`+"\n",
+			strings.Join(pts, " "), palette[i%len(palette)])
+	}
+	if opts.ShowMBRs {
+		for _, cell := range cells {
+			if cell.IsEmpty() {
+				continue
+			}
+			m := cell.MBR()
+			fmt.Fprintf(&b, `<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill="none" stroke="#dc2626" stroke-width="1.2"/>`+"\n",
+				sx(m.Lo[0]), sy(m.Hi[1]), sx(m.Hi[0])-sx(m.Lo[0]), sy(m.Lo[1])-sy(m.Hi[1]))
+		}
+	}
+	for _, p := range points {
+		fmt.Fprintf(&b, `<circle cx="%.2f" cy="%.2f" r="3" fill="black"/>`+"\n", sx(p[0]), sy(p[1]))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}

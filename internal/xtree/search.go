@@ -1,0 +1,169 @@
+package xtree
+
+import (
+	"container/heap"
+
+	"repro/internal/vec"
+)
+
+// Neighbor is one result of a (k-)nearest-neighbor query.
+type Neighbor struct {
+	Entry Entry
+	Dist2 float64
+}
+
+// PointQuery visits every leaf entry whose rectangle contains p; visit
+// returns false to stop. With NN-cell approximations stored in the tree, this
+// single call answers a nearest-neighbor query.
+func (t *Tree) PointQuery(p vec.Point, visit func(Entry) bool) {
+	t.searchNode(t.root, func(r vec.Rect) bool { return r.Contains(p) }, visit)
+}
+
+// Search visits every leaf entry whose rectangle intersects q.
+func (t *Tree) Search(q vec.Rect, visit func(Entry) bool) {
+	t.searchNode(t.root, func(r vec.Rect) bool { return r.Intersects(q) }, visit)
+}
+
+// SphereQuery visits every leaf entry whose rectangle intersects the
+// Euclidean ball around center.
+func (t *Tree) SphereQuery(center vec.Point, radius float64, visit func(Entry) bool) {
+	t.searchNode(t.root, func(r vec.Rect) bool { return r.IntersectsSphere(center, radius) }, visit)
+}
+
+func (t *Tree) searchNode(n *node, pred func(vec.Rect) bool, visit func(Entry) bool) bool {
+	t.accessNode(n)
+	for i := range n.entries {
+		e := &n.entries[i]
+		if !pred(e.rect) {
+			continue
+		}
+		if n.level == 0 {
+			if !visit(Entry{Rect: e.rect, Data: e.data}) {
+				return false
+			}
+		} else if !t.searchNode(e.child, pred, visit) {
+			return false
+		}
+	}
+	return true
+}
+
+// VisitLeafRegions visits all entries of every leaf node whose node MBR
+// satisfies pred; pred must be monotone under rectangle containment (true for
+// a node whenever true for any descendant), which holds for point containment
+// and sphere intersection. The paper's "Point" and "Sphere" constraint
+// selection algorithms are exactly this: take every data point stored on a
+// page whose region contains the query point (or cuts the query sphere).
+func (t *Tree) VisitLeafRegions(pred func(vec.Rect) bool, visit func(Entry) bool) {
+	if t.size == 0 {
+		return
+	}
+	t.visitLeafRegions(t.root, t.root.mbr(t.dim), pred, visit)
+}
+
+func (t *Tree) visitLeafRegions(n *node, region vec.Rect, pred func(vec.Rect) bool, visit func(Entry) bool) bool {
+	if !pred(region) {
+		return true
+	}
+	t.accessNode(n)
+	if n.level == 0 {
+		for i := range n.entries {
+			if !visit(Entry{Rect: n.entries[i].rect, Data: n.entries[i].data}) {
+				return false
+			}
+		}
+		return true
+	}
+	for i := range n.entries {
+		if !t.visitLeafRegions(n.entries[i].child, n.entries[i].rect, pred, visit) {
+			return false
+		}
+	}
+	return true
+}
+
+type nnHeapItem struct {
+	dist2 float64
+	child *node
+}
+
+type nnHeap []nnHeapItem
+
+func (h nnHeap) Len() int            { return len(h) }
+func (h nnHeap) Less(i, j int) bool  { return h[i].dist2 < h[j].dist2 }
+func (h nnHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nnHeap) Push(x interface{}) { *h = append(*h, x.(nnHeapItem)) }
+func (h *nnHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// NearestNeighbor returns the closest leaf entry to q (Euclidean), best-first
+// [HS 95]. ok is false on an empty tree.
+func (t *Tree) NearestNeighbor(q vec.Point) (e Entry, dist2 float64, ok bool) {
+	res := t.KNearest(q, 1)
+	if len(res) == 0 {
+		return Entry{}, 0, false
+	}
+	return res[0].Entry, res[0].Dist2, true
+}
+
+// KNearest returns the k closest leaf entries to q in increasing distance
+// order, using the best-first traversal of [HS 95] with a bounded result
+// heap: only nodes enter the priority queue; leaf entries compete in a
+// size-k max-heap, and traversal stops when the nearest unexplored node is
+// farther than the current k-th best candidate.
+func (t *Tree) KNearest(q vec.Point, k int) []Neighbor {
+	if k <= 0 || t.size == 0 {
+		return nil
+	}
+	metric := vec.Euclidean{}
+	nodes := &nnHeap{}
+	heap.Push(nodes, nnHeapItem{dist2: 0, child: t.root})
+	best := &resultHeap{}
+	for nodes.Len() > 0 {
+		it := heap.Pop(nodes).(nnHeapItem)
+		if best.Len() == k && it.dist2 > (*best)[0].Dist2 {
+			break
+		}
+		n := it.child
+		t.accessNode(n)
+		for i := range n.entries {
+			e := &n.entries[i]
+			d2 := metric.MinDist2(q, e.rect)
+			if n.level == 0 {
+				if best.Len() < k {
+					heap.Push(best, Neighbor{Entry: Entry{Rect: e.rect, Data: e.data}, Dist2: d2})
+				} else if d2 < (*best)[0].Dist2 {
+					(*best)[0] = Neighbor{Entry: Entry{Rect: e.rect, Data: e.data}, Dist2: d2}
+					heap.Fix(best, 0)
+				}
+			} else if best.Len() < k || d2 <= (*best)[0].Dist2 {
+				heap.Push(nodes, nnHeapItem{dist2: d2, child: e.child})
+			}
+		}
+	}
+	out := make([]Neighbor, best.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(best).(Neighbor)
+	}
+	return out
+}
+
+// resultHeap is a max-heap of the current k best candidates (root = worst).
+type resultHeap []Neighbor
+
+func (h resultHeap) Len() int            { return len(h) }
+func (h resultHeap) Less(i, j int) bool  { return h[i].Dist2 > h[j].Dist2 }
+func (h resultHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *resultHeap) Push(x interface{}) { *h = append(*h, x.(Neighbor)) }
+func (h *resultHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,668 @@
+// Package xtree implements the X-tree of Berchtold, Keim and Kriegel
+// [BKK 96] — the paper's main competitor index and also the structure in
+// which it stores NN-cell approximations.
+//
+// The X-tree extends the R*-tree for high-dimensional data with two ideas:
+//
+//   - Overlap-minimal splits: when the topological (R*) split of a directory
+//     node would produce groups whose MBRs overlap more than MaxOverlap, the
+//     tree instead looks for a split dimension along which the entries can be
+//     partitioned with zero overlap (possible for directory nodes because
+//     their MBRs arose from recursive splits — the split-history argument of
+//     [BKK 96]; this implementation searches all dimensions directly, which
+//     finds an overlap-free split whenever the split history would).
+//
+//   - Supernodes: if the only overlap-free split is hopelessly unbalanced,
+//     the node is not split at all but extended to span multiple disk pages.
+//     Reading a supernode costs as many page accesses as it has pages, which
+//     the pager accounting reflects.
+//
+// Leaf nodes split with the plain R* topological split.
+package xtree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/pager"
+	"repro/internal/vec"
+)
+
+// Entry is a leaf-level record: a rectangle and its user datum.
+type Entry struct {
+	Rect vec.Rect
+	Data int64
+}
+
+// Options tune the X-tree. The zero value selects the published defaults.
+type Options struct {
+	// MaxOverlap is the split-overlap threshold above which the tree tries an
+	// overlap-minimal split (and, failing that, creates a supernode).
+	// Defaults to 0.2, the value of [BKK 96].
+	MaxOverlap float64
+	// MinFillRatio is the minimum fill for split groups. Defaults to 0.4.
+	MinFillRatio float64
+	// MaxSupernodePages caps supernode growth; 0 means unlimited.
+	MaxSupernodePages int
+}
+
+func (o *Options) normalize() {
+	if o.MaxOverlap <= 0 || o.MaxOverlap >= 1 {
+		o.MaxOverlap = 0.2
+	}
+	if o.MinFillRatio <= 0 || o.MinFillRatio > 0.5 {
+		o.MinFillRatio = 0.4
+	}
+}
+
+type entry struct {
+	rect  vec.Rect
+	child *node
+	data  int64
+}
+
+type node struct {
+	pages   []pager.PageID // >1 for supernodes
+	level   int            // 0 = leaf
+	entries []entry
+}
+
+func (n *node) isSuper() bool { return len(n.pages) > 1 }
+
+func (n *node) mbr(dim int) vec.Rect {
+	r := vec.EmptyRect(dim)
+	for i := range n.entries {
+		r.UnionInPlace(n.entries[i].rect)
+	}
+	return r
+}
+
+// Tree is an X-tree. Like the R*-tree it is not safe for concurrent
+// mutation.
+type Tree struct {
+	dim  int
+	pg   *pager.Pager
+	opts Options
+
+	baseMax    int // entries per single page (M)
+	minEntries int // m for split balance
+	root       *node
+	height     int
+	size       int
+	supernodes int // live supernode count (statistics)
+}
+
+// EntryBytes returns the per-entry page footprint at dimensionality d.
+func EntryBytes(d int) int { return 16*d + 8 }
+
+// New creates an empty X-tree of dimensionality d over the given pager.
+func New(d int, pg *pager.Pager, opts Options) *Tree {
+	if d <= 0 {
+		panic("xtree: non-positive dimensionality")
+	}
+	opts.normalize()
+	m := pg.Capacity(EntryBytes(d))
+	if m < 4 {
+		m = 4
+	}
+	minE := int(float64(m) * opts.MinFillRatio)
+	if minE < 1 {
+		minE = 1
+	}
+	t := &Tree{dim: d, pg: pg, opts: opts, baseMax: m, minEntries: minE}
+	t.root = t.newNode(0, 1)
+	t.height = 1
+	return t
+}
+
+func (t *Tree) newNode(level, pages int) *node {
+	n := &node{pages: t.pg.AllocRun(pages), level: level}
+	for _, id := range n.pages {
+		t.pg.Write(id)
+	}
+	return n
+}
+
+// capacity returns the maximum entry count of n given its page span.
+func (t *Tree) capacity(n *node) int { return t.baseMax * len(n.pages) }
+
+// Dim returns the dimensionality.
+func (t *Tree) Dim() int { return t.dim }
+
+// Len returns the number of leaf entries.
+func (t *Tree) Len() int { return t.size }
+
+// Height returns the number of levels.
+func (t *Tree) Height() int { return t.height }
+
+// Supernodes returns the number of live supernodes (an X-tree health metric:
+// the tree degrades toward a sequential scan as this grows).
+func (t *Tree) Supernodes() int { return t.supernodes }
+
+// MaxEntries returns the single-page node capacity M.
+func (t *Tree) MaxEntries() int { return t.baseMax }
+
+// Bounds returns the MBR of all data.
+func (t *Tree) Bounds() vec.Rect {
+	if t.size == 0 {
+		return vec.EmptyRect(t.dim)
+	}
+	return t.root.mbr(t.dim)
+}
+
+// Insert adds a rectangle with its datum.
+func (t *Tree) Insert(r vec.Rect, data int64) {
+	if r.Dim() != t.dim {
+		panic(fmt.Sprintf("xtree: insert of %d-dim rect into %d-dim tree", r.Dim(), t.dim))
+	}
+	split := t.insertAt(t.root, entry{rect: r.Clone(), data: data})
+	if split != nil {
+		oldRoot := t.root
+		t.root = t.newNode(oldRoot.level+1, 1)
+		t.root.entries = append(t.root.entries,
+			entry{rect: oldRoot.mbr(t.dim), child: oldRoot},
+			*split)
+		t.writeNode(t.root)
+		t.height++
+	}
+	t.size++
+}
+
+func (t *Tree) accessNode(n *node) { t.pg.AccessRun(n.pages) }
+func (t *Tree) writeNode(n *node) {
+	for _, id := range n.pages {
+		t.pg.Write(id)
+	}
+}
+
+func (t *Tree) insertAt(n *node, e entry) *entry {
+	t.accessNode(n)
+	if n.level == 0 {
+		n.entries = append(n.entries, e)
+		t.writeNode(n)
+		if len(n.entries) > t.capacity(n) {
+			return t.overflowLeaf(n)
+		}
+		return nil
+	}
+	i := t.chooseSubtree(n, e.rect)
+	split := t.insertAt(n.entries[i].child, e)
+	n.entries[i].rect = n.entries[i].child.mbr(t.dim)
+	if split != nil {
+		n.entries = append(n.entries, *split)
+	}
+	t.writeNode(n)
+	if len(n.entries) > t.capacity(n) {
+		return t.overflowDir(n)
+	}
+	return nil
+}
+
+// chooseSubtree is the R* descent rule (the X-tree inherits it unchanged).
+func (t *Tree) chooseSubtree(n *node, r vec.Rect) int {
+	best := 0
+	if n.level == 1 {
+		// R* rule with the published optimization for large nodes: compute
+		// the exact overlap enlargement only for the 32 candidates with the
+		// least area enlargement [BKSS 90, §3.1].
+		cand := make([]int, len(n.entries))
+		for i := range cand {
+			cand[i] = i
+		}
+		if len(cand) > 32 {
+			enl := make([]float64, len(n.entries))
+			for i := range n.entries {
+				enl[i] = n.entries[i].rect.EnlargedVolume(r) - n.entries[i].rect.Volume()
+			}
+			sort.Slice(cand, func(a, b int) bool { return enl[cand[a]] < enl[cand[b]] })
+			cand = cand[:32]
+		}
+		bestOverlap, bestEnl, bestArea := math.Inf(1), math.Inf(1), math.Inf(1)
+		best = cand[0]
+		for _, i := range cand {
+			ov := t.overlapEnlargement(n, i, r)
+			area := n.entries[i].rect.Volume()
+			enl := n.entries[i].rect.EnlargedVolume(r) - area
+			if ov < bestOverlap ||
+				(ov == bestOverlap && enl < bestEnl) ||
+				(ov == bestOverlap && enl == bestEnl && area < bestArea) {
+				best, bestOverlap, bestEnl, bestArea = i, ov, enl, area
+			}
+		}
+		return best
+	}
+	bestEnl, bestArea := math.Inf(1), math.Inf(1)
+	for i := range n.entries {
+		area := n.entries[i].rect.Volume()
+		enl := n.entries[i].rect.EnlargedVolume(r) - area
+		if enl < bestEnl || (enl == bestEnl && area < bestArea) {
+			best, bestEnl, bestArea = i, enl, area
+		}
+	}
+	return best
+}
+
+func (t *Tree) overlapEnlargement(n *node, i int, r vec.Rect) float64 {
+	enlarged := n.entries[i].rect.Union(r)
+	delta := 0.0
+	for j := range n.entries {
+		if j == i {
+			continue
+		}
+		delta += enlarged.IntersectionVolume(n.entries[j].rect) -
+			n.entries[i].rect.IntersectionVolume(n.entries[j].rect)
+	}
+	return delta
+}
+
+// overflowLeaf splits a data node with the plain topological split.
+func (t *Tree) overflowLeaf(n *node) *entry {
+	g1, g2 := t.topologicalSplit(n.entries)
+	return t.applySplit(n, g1, g2)
+}
+
+// overflowDir handles directory-node overflow per the X-tree algorithm:
+// topological split if its overlap is acceptable, otherwise overlap-minimal
+// split, otherwise supernode extension.
+func (t *Tree) overflowDir(n *node) *entry {
+	g1, g2 := t.topologicalSplit(n.entries)
+	if t.splitOverlap(g1, g2) <= t.opts.MaxOverlap {
+		return t.applySplit(n, g1, g2)
+	}
+	if o1, o2, ok := t.overlapMinimalSplit(n.entries); ok {
+		return t.applySplit(n, o1, o2)
+	}
+	if t.opts.MaxSupernodePages > 0 && len(n.pages) >= t.opts.MaxSupernodePages {
+		// Page cap reached: fall back to the topological split despite its
+		// overlap, keeping the node bounded.
+		return t.applySplit(n, g1, g2)
+	}
+	t.extendSupernode(n)
+	return nil
+}
+
+// splitOverlap is the Jaccard-style overlap measure of [BKK 96]:
+// ‖MBR1 ∩ MBR2‖ / ‖MBR1 ∪ MBR2‖ (union as measure of the set union).
+func (t *Tree) splitOverlap(g1, g2 []entry) float64 {
+	r1 := vec.EmptyRect(t.dim)
+	for i := range g1 {
+		r1.UnionInPlace(g1[i].rect)
+	}
+	r2 := vec.EmptyRect(t.dim)
+	for i := range g2 {
+		r2.UnionInPlace(g2[i].rect)
+	}
+	inter := r1.IntersectionVolume(r2)
+	if inter == 0 {
+		return 0
+	}
+	union := r1.Volume() + r2.Volume() - inter
+	if union <= 0 {
+		// Degenerate (zero-volume) MBRs that still intersect: treat as full
+		// overlap, the pessimistic choice.
+		return 1
+	}
+	return inter / union
+}
+
+// applySplit turns n into group1 and returns a parent entry for a new sibling
+// holding group2. Splitting a supernode releases or keeps extra pages so that
+// each resulting node spans exactly the pages its entry count requires (a
+// split of a large supernode can legitimately yield two smaller supernodes).
+func (t *Tree) applySplit(n *node, g1, g2 []entry) *entry {
+	wasSuper := n.isSuper()
+	n.entries = g1
+	t.resizeNode(n, len(g1))
+	if wasSuper && !n.isSuper() {
+		t.supernodes--
+	} else if !wasSuper && n.isSuper() {
+		t.supernodes++
+	}
+	t.writeNode(n)
+
+	sib := t.newNode(n.level, t.pagesFor(len(g2)))
+	sib.entries = g2
+	if sib.isSuper() {
+		t.supernodes++
+	}
+	t.writeNode(sib)
+	return &entry{rect: sib.mbr(t.dim), child: sib}
+}
+
+// pagesFor returns how many pages a node with count entries needs.
+func (t *Tree) pagesFor(count int) int {
+	p := (count + t.baseMax - 1) / t.baseMax
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// resizeNode grows or shrinks n's page span to fit count entries.
+func (t *Tree) resizeNode(n *node, count int) {
+	want := t.pagesFor(count)
+	for len(n.pages) > want {
+		t.pg.Free(n.pages[len(n.pages)-1])
+		n.pages = n.pages[:len(n.pages)-1]
+	}
+	for len(n.pages) < want {
+		id := t.pg.Alloc()
+		t.pg.Write(id)
+		n.pages = append(n.pages, id)
+	}
+}
+
+// extendSupernode grows n by one page.
+func (t *Tree) extendSupernode(n *node) {
+	if !n.isSuper() {
+		t.supernodes++
+	}
+	id := t.pg.Alloc()
+	t.pg.Write(id)
+	n.pages = append(n.pages, id)
+}
+
+// topologicalSplit is the R* split: axis by minimum margin sum, distribution
+// by minimum overlap (ties: minimum area).
+func (t *Tree) topologicalSplit(entries []entry) (g1, g2 []entry) {
+	d := t.dim
+	total := len(entries)
+	m := t.minEntries
+	if 2*m > total {
+		m = total / 2
+		if m < 1 {
+			m = 1
+		}
+	}
+
+	bestAxis, bestMargin := 0, math.Inf(1)
+	for axis := 0; axis < d; axis++ {
+		for _, byUpper := range []bool{false, true} {
+			sorted := sortByAxis(entries, axis, byUpper)
+			prefix, suffix := cumulativeRects(sorted, d)
+			margin := 0.0
+			for k := m; k <= total-m; k++ {
+				margin += prefix[k].Margin() + suffix[k].Margin()
+			}
+			if margin < bestMargin {
+				bestMargin, bestAxis = margin, axis
+			}
+		}
+	}
+
+	bestOverlap, bestArea := math.Inf(1), math.Inf(1)
+	var bestSorted []entry
+	bestK := -1
+	for _, byUpper := range []bool{false, true} {
+		sorted := sortByAxis(entries, bestAxis, byUpper)
+		prefix, suffix := cumulativeRects(sorted, d)
+		for k := m; k <= total-m; k++ {
+			ov := prefix[k].IntersectionVolume(suffix[k])
+			area := prefix[k].Volume() + suffix[k].Volume()
+			if ov < bestOverlap || (ov == bestOverlap && area < bestArea) {
+				bestOverlap, bestArea = ov, area
+				bestSorted, bestK = sorted, k
+			}
+		}
+	}
+	g1 = append([]entry(nil), bestSorted[:bestK]...)
+	g2 = append([]entry(nil), bestSorted[bestK:]...)
+	return g1, g2
+}
+
+// cumulativeRects returns prefix[k] = MBR(sorted[:k]) and
+// suffix[k] = MBR(sorted[k:]), making every split position O(d) to evaluate.
+func cumulativeRects(sorted []entry, d int) (prefix, suffix []vec.Rect) {
+	n := len(sorted)
+	prefix = make([]vec.Rect, n+1)
+	suffix = make([]vec.Rect, n+1)
+	prefix[0] = vec.EmptyRect(d)
+	for i := 0; i < n; i++ {
+		prefix[i+1] = prefix[i].Union(sorted[i].rect)
+	}
+	suffix[n] = vec.EmptyRect(d)
+	for i := n - 1; i >= 0; i-- {
+		suffix[i] = suffix[i+1].Union(sorted[i].rect)
+	}
+	return prefix, suffix
+}
+
+// overlapMinimalSplit searches for a dimension along which the entries can be
+// partitioned with zero MBR overlap and acceptable balance. It reports
+// ok=false when no balanced overlap-free split exists — the supernode case.
+func (t *Tree) overlapMinimalSplit(entries []entry) (g1, g2 []entry, ok bool) {
+	total := len(entries)
+	minFill := t.minEntries
+	bestBalance := -1
+	var bestSorted []entry
+	bestK := -1
+	for axis := 0; axis < t.dim; axis++ {
+		sorted := sortByAxis(entries, axis, false)
+		// prefixMaxHi[k] = max hi over sorted[0..k-1]
+		maxHi := math.Inf(-1)
+		for k := 1; k < total; k++ {
+			if h := sorted[k-1].rect.Hi[axis]; h > maxHi {
+				maxHi = h
+			}
+			if maxHi <= sorted[k].rect.Lo[axis] {
+				// Overlap-free in this dimension at position k.
+				balance := k
+				if total-k < balance {
+					balance = total - k
+				}
+				if balance > bestBalance {
+					bestBalance = balance
+					bestSorted, bestK = sorted, k
+				}
+			}
+		}
+	}
+	if bestBalance < minFill {
+		return nil, nil, false // unbalanced: prefer a supernode
+	}
+	g1 = append([]entry(nil), bestSorted[:bestK]...)
+	g2 = append([]entry(nil), bestSorted[bestK:]...)
+	return g1, g2, true
+}
+
+func sortByAxis(entries []entry, axis int, byUpper bool) []entry {
+	s := append([]entry(nil), entries...)
+	sort.SliceStable(s, func(a, b int) bool {
+		if byUpper {
+			if s[a].rect.Hi[axis] != s[b].rect.Hi[axis] {
+				return s[a].rect.Hi[axis] < s[b].rect.Hi[axis]
+			}
+			return s[a].rect.Lo[axis] < s[b].rect.Lo[axis]
+		}
+		if s[a].rect.Lo[axis] != s[b].rect.Lo[axis] {
+			return s[a].rect.Lo[axis] < s[b].rect.Lo[axis]
+		}
+		return s[a].rect.Hi[axis] < s[b].rect.Hi[axis]
+	})
+	return s
+}
+
+// Delete removes one entry matching (rect, data), condensing underfull
+// nodes. It reports whether an entry was found.
+func (t *Tree) Delete(r vec.Rect, data int64) bool {
+	leaf, idx := t.findLeaf(t.root, r, data)
+	if leaf == nil {
+		return false
+	}
+	leaf.entries = append(leaf.entries[:idx], leaf.entries[idx+1:]...)
+	t.writeNode(leaf)
+	t.size--
+	t.condense()
+	return true
+}
+
+func (t *Tree) findLeaf(n *node, r vec.Rect, data int64) (*node, int) {
+	t.accessNode(n)
+	if n.level == 0 {
+		for i := range n.entries {
+			if n.entries[i].data == data && n.entries[i].rect.Equal(r) {
+				return n, i
+			}
+		}
+		return nil, -1
+	}
+	for i := range n.entries {
+		if n.entries[i].rect.ContainsRect(r) {
+			if leaf, idx := t.findLeaf(n.entries[i].child, r, data); leaf != nil {
+				return leaf, idx
+			}
+		}
+	}
+	return nil, -1
+}
+
+func (t *Tree) condense() {
+	var orphans []struct {
+		e     entry
+		level int
+	}
+	var walk func(n *node) bool
+	walk = func(n *node) bool {
+		if n.level > 0 {
+			kept := n.entries[:0]
+			for _, e := range n.entries {
+				if walk(e.child) {
+					e.rect = e.child.mbr(t.dim)
+					kept = append(kept, e)
+				}
+			}
+			n.entries = kept
+			t.writeNode(n)
+		}
+		if n != t.root && len(n.entries) < t.minEntries {
+			for _, e := range n.entries {
+				orphans = append(orphans, struct {
+					e     entry
+					level int
+				}{e, n.level})
+			}
+			t.freeNode(n)
+			return false
+		}
+		// A supernode that shrank back under single-page capacity reverts.
+		for n.isSuper() && len(n.entries) <= t.baseMax*(len(n.pages)-1) {
+			t.pg.Free(n.pages[len(n.pages)-1])
+			n.pages = n.pages[:len(n.pages)-1]
+			if !n.isSuper() {
+				t.supernodes--
+			}
+		}
+		return true
+	}
+	walk(t.root)
+	for _, o := range orphans {
+		t.insertOrphan(o.e, o.level)
+	}
+	for t.root.level > 0 && len(t.root.entries) == 1 {
+		child := t.root.entries[0].child
+		t.freeNode(t.root)
+		t.root = child
+		t.height--
+	}
+}
+
+func (t *Tree) freeNode(n *node) {
+	if n.isSuper() {
+		t.supernodes--
+	}
+	for _, id := range n.pages {
+		t.pg.Free(id)
+	}
+}
+
+// insertOrphan re-adds a subtree entry at the given level after condensation.
+func (t *Tree) insertOrphan(e entry, level int) {
+	split := t.orphanAt(t.root, e, level)
+	if split != nil {
+		oldRoot := t.root
+		t.root = t.newNode(oldRoot.level+1, 1)
+		t.root.entries = append(t.root.entries,
+			entry{rect: oldRoot.mbr(t.dim), child: oldRoot},
+			*split)
+		t.writeNode(t.root)
+		t.height++
+	}
+}
+
+func (t *Tree) orphanAt(n *node, e entry, level int) *entry {
+	t.accessNode(n)
+	if n.level == level {
+		n.entries = append(n.entries, e)
+		t.writeNode(n)
+		if len(n.entries) > t.capacity(n) {
+			if n.level == 0 {
+				return t.overflowLeaf(n)
+			}
+			return t.overflowDir(n)
+		}
+		return nil
+	}
+	i := t.chooseSubtree(n, e.rect)
+	split := t.orphanAt(n.entries[i].child, e, level)
+	n.entries[i].rect = n.entries[i].child.mbr(t.dim)
+	if split != nil {
+		n.entries = append(n.entries, *split)
+	}
+	t.writeNode(n)
+	if len(n.entries) > t.capacity(n) {
+		return t.overflowDir(n)
+	}
+	return nil
+}
+
+// CheckInvariants validates the structure for tests.
+func (t *Tree) CheckInvariants() error {
+	count := 0
+	supers := 0
+	var walk func(n *node, level int) error
+	walk = func(n *node, level int) error {
+		if n.level != level {
+			return fmt.Errorf("xtree: node level %d at depth-level %d", n.level, level)
+		}
+		if len(n.pages) < 1 {
+			return fmt.Errorf("xtree: node without pages")
+		}
+		if n.isSuper() {
+			supers++
+		}
+		if len(n.entries) > t.capacity(n) {
+			return fmt.Errorf("xtree: node with %d entries exceeds capacity %d", len(n.entries), t.capacity(n))
+		}
+		if n != t.root && len(n.entries) < t.minEntries {
+			return fmt.Errorf("xtree: non-root node with %d < m=%d entries", len(n.entries), t.minEntries)
+		}
+		if n.level == 0 {
+			count += len(n.entries)
+			return nil
+		}
+		for i := range n.entries {
+			e := n.entries[i]
+			if e.child == nil {
+				return fmt.Errorf("xtree: nil child in directory node")
+			}
+			if !e.rect.Equal(e.child.mbr(t.dim)) {
+				return fmt.Errorf("xtree: stale parent MBR at level %d", n.level)
+			}
+			if err := walk(e.child, level-1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root, t.height-1); err != nil {
+		return err
+	}
+	if count != t.size {
+		return fmt.Errorf("xtree: size %d but %d reachable entries", t.size, count)
+	}
+	if supers != t.supernodes {
+		return fmt.Errorf("xtree: supernode counter %d but %d found", t.supernodes, supers)
+	}
+	return nil
+}

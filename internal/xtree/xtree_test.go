@@ -1,0 +1,328 @@
+package xtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/pager"
+	"repro/internal/scan"
+	"repro/internal/vec"
+)
+
+func newTestPager() *pager.Pager {
+	return pager.New(pager.Config{PageSize: 4096, CachePages: 0})
+}
+
+func randPoints(rng *rand.Rand, n, d int) []vec.Point {
+	pts := make([]vec.Point, n)
+	for i := range pts {
+		p := make(vec.Point, d)
+		for j := range p {
+			p[j] = rng.Float64()
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func buildPointTree(t testing.TB, pts []vec.Point, opts Options) *Tree {
+	t.Helper()
+	tr := New(pts[0].Dim(), newTestPager(), opts)
+	for i, p := range pts {
+		tr.Insert(vec.PointRect(p), int64(i))
+	}
+	return tr
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New(4, newTestPager(), Options{})
+	if tr.Len() != 0 || tr.Height() != 1 || tr.Supernodes() != 0 {
+		t.Errorf("Len=%d Height=%d Super=%d", tr.Len(), tr.Height(), tr.Supernodes())
+	}
+	if _, _, ok := tr.NearestNeighbor(vec.Point{0, 0, 0, 0}); ok {
+		t.Error("NN on empty tree returned ok")
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInsertAndInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, d := range []int{2, 6, 12, 16} {
+		pts := randPoints(rng, 600, d)
+		tr := buildPointTree(t, pts, Options{})
+		if tr.Len() != 600 {
+			t.Fatalf("d=%d: Len=%d", d, tr.Len())
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("d=%d: %v", d, err)
+		}
+	}
+}
+
+func TestPointQueryFindsInsertedPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	pts := randPoints(rng, 400, 5)
+	tr := buildPointTree(t, pts, Options{})
+	for i, p := range pts {
+		found := false
+		tr.PointQuery(p, func(e Entry) bool {
+			if e.Data == int64(i) {
+				found = true
+				return false
+			}
+			return true
+		})
+		if !found {
+			t.Fatalf("point %d not found", i)
+		}
+	}
+}
+
+func TestNearestNeighborMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, d := range []int{2, 8, 14} {
+		pts := randPoints(rng, 500, d)
+		tr := buildPointTree(t, pts, Options{})
+		oracle := scan.New(pts, vec.Euclidean{}, newTestPager())
+		for trial := 0; trial < 80; trial++ {
+			q := randPoints(rng, 1, d)[0]
+			_, wantD2 := oracle.Nearest(q)
+			_, gotD2, ok := tr.NearestNeighbor(q)
+			if !ok || absDiff(gotD2, wantD2) > 1e-12 {
+				t.Fatalf("d=%d trial %d: got %v want %v ok=%v", d, trial, gotD2, wantD2, ok)
+			}
+		}
+	}
+}
+
+func TestKNearestMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	pts := randPoints(rng, 300, 6)
+	tr := buildPointTree(t, pts, Options{})
+	oracle := scan.New(pts, vec.Euclidean{}, newTestPager())
+	for trial := 0; trial < 25; trial++ {
+		q := randPoints(rng, 1, 6)[0]
+		k := 1 + rng.Intn(8)
+		want := oracle.KNearest(q, k)
+		got := tr.KNearest(q, k)
+		if len(got) != len(want) {
+			t.Fatalf("k=%d: %d results", k, len(got))
+		}
+		for i := range got {
+			if absDiff(got[i].Dist2, want[i].Dist2) > 1e-12 {
+				t.Fatalf("k=%d rank %d: %v want %v", k, i, got[i].Dist2, want[i].Dist2)
+			}
+		}
+	}
+}
+
+func TestRangeSearchMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	pts := randPoints(rng, 400, 3)
+	tr := buildPointTree(t, pts, Options{})
+	for trial := 0; trial < 40; trial++ {
+		lo := make(vec.Point, 3)
+		hi := make(vec.Point, 3)
+		for j := range lo {
+			a, b := rng.Float64(), rng.Float64()
+			if a > b {
+				a, b = b, a
+			}
+			lo[j], hi[j] = a, b
+		}
+		q := vec.NewRect(lo, hi)
+		want := 0
+		for _, p := range pts {
+			if q.Contains(p) {
+				want++
+			}
+		}
+		got := 0
+		tr.Search(q, func(Entry) bool { got++; return true })
+		if got != want {
+			t.Fatalf("trial %d: got %d, want %d", trial, got, want)
+		}
+	}
+}
+
+// Overlapping rectangle entries in high dimension force the directory-split
+// overlap threshold to trigger and should produce supernodes.
+func TestSupernodeCreation(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	d := 12
+	pg := newTestPager()
+	tr := New(d, pg, Options{})
+	// Heavily overlapping rectangles: each spans a random half of every axis.
+	for i := 0; i < 3000; i++ {
+		lo := make(vec.Point, d)
+		hi := make(vec.Point, d)
+		for j := 0; j < d; j++ {
+			c := rng.Float64()
+			lo[j] = c * 0.5
+			hi[j] = 0.5 + c*0.5
+		}
+		tr.Insert(vec.NewRect(lo, hi), int64(i))
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Supernodes() == 0 {
+		t.Log("warning: no supernodes created on pathological workload (split always acceptable)")
+	}
+	// Queries must still be exact.
+	q := make(vec.Point, d)
+	for j := range q {
+		q[j] = 0.5
+	}
+	count := 0
+	tr.PointQuery(q, func(Entry) bool { count++; return true })
+	if count == 0 {
+		t.Error("point query in the overlap region found nothing")
+	}
+}
+
+func TestSupernodeAccessCostsMultiplePages(t *testing.T) {
+	rng := rand.New(rand.NewSource(27))
+	d := 12
+	pg := newTestPager()
+	tr := New(d, pg, Options{MaxOverlap: 1e-9}) // nearly always refuse splits
+	for i := 0; i < 2500; i++ {
+		lo := make(vec.Point, d)
+		hi := make(vec.Point, d)
+		for j := 0; j < d; j++ {
+			c := rng.Float64()
+			lo[j] = c * 0.6
+			hi[j] = 0.4 + c*0.6
+		}
+		tr.Insert(vec.NewRect(lo, hi), int64(i))
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Supernodes() == 0 {
+		t.Skip("no supernodes formed; nothing to measure")
+	}
+	if pg.LivePages() <= 2500/tr.MaxEntries()+tr.Height() {
+		t.Log("supernodes present but page count small; continuing")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	rng := rand.New(rand.NewSource(28))
+	pts := randPoints(rng, 300, 4)
+	tr := buildPointTree(t, pts, Options{})
+	for i := 0; i < 150; i++ {
+		if !tr.Delete(vec.PointRect(pts[i]), int64(i)) {
+			t.Fatalf("Delete(%d) failed", i)
+		}
+	}
+	if tr.Len() != 150 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	oracle := scan.New(pts[150:], vec.Euclidean{}, newTestPager())
+	for trial := 0; trial < 40; trial++ {
+		q := randPoints(rng, 1, 4)[0]
+		_, wantD2 := oracle.Nearest(q)
+		_, gotD2, _ := tr.NearestNeighbor(q)
+		if absDiff(gotD2, wantD2) > 1e-12 {
+			t.Fatalf("NN after deletes: %v want %v", gotD2, wantD2)
+		}
+	}
+	for i := 150; i < 300; i++ {
+		if !tr.Delete(vec.PointRect(pts[i]), int64(i)) {
+			t.Fatalf("Delete(%d) failed", i)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len after all deletes = %d", tr.Len())
+	}
+}
+
+func TestMaxSupernodePagesCap(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	d := 10
+	tr := New(d, newTestPager(), Options{MaxOverlap: 1e-9, MaxSupernodePages: 2})
+	for i := 0; i < 2000; i++ {
+		lo := make(vec.Point, d)
+		hi := make(vec.Point, d)
+		for j := 0; j < d; j++ {
+			c := rng.Float64()
+			lo[j] = c * 0.7
+			hi[j] = 0.3 + c*0.7
+		}
+		tr.Insert(vec.NewRect(lo, hi), int64(i))
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMixedWorkload(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	tr := New(3, newTestPager(), Options{})
+	live := map[int64]vec.Point{}
+	next := int64(0)
+	for op := 0; op < 1500; op++ {
+		if len(live) == 0 || rng.Float64() < 0.65 {
+			p := vec.Point{rng.Float64(), rng.Float64(), rng.Float64()}
+			tr.Insert(vec.PointRect(p), next)
+			live[next] = p
+			next++
+		} else {
+			var id int64
+			for k := range live {
+				id = k
+				break
+			}
+			if !tr.Delete(vec.PointRect(live[id]), id) {
+				t.Fatalf("op %d: delete failed", op)
+			}
+			delete(live, id)
+		}
+		if op%250 == 0 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("op %d: %v", op, err)
+			}
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func absDiff(a, b float64) float64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+func BenchmarkInsertD16(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tr := New(16, newTestPager(), Options{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := make(vec.Point, 16)
+		for j := range p {
+			p[j] = rng.Float64()
+		}
+		tr.Insert(vec.PointRect(p), int64(i))
+	}
+}
+
+func BenchmarkNearestNeighborD16(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	pts := randPoints(rng, 10000, 16)
+	tr := buildPointTree(b, pts, Options{})
+	qs := randPoints(rng, 64, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.NearestNeighbor(qs[i%len(qs)])
+	}
+}
