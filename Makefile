@@ -1,0 +1,36 @@
+# Development workflow. `make check` is the pre-commit gate; the bench
+# targets track the construction hot path (see DESIGN.md §"Construction
+# hot path").
+GO ?= go
+
+.PHONY: check vet build test race bench-smoke bench-build bench
+
+check: vet build test race bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The LP solver and the NN-cell builder are the concurrency-sensitive
+# packages (per-worker solver state, parallel build, query/update locking).
+race:
+	$(GO) test -race ./internal/nncell/ ./internal/lp/
+
+# One iteration of the hot-path benchmarks: proves the 0 allocs/op contract
+# of the warm LP loop and that construction still runs end to end.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkSolveMBR|BenchmarkBuild/NN-Direction' -benchtime 1x .
+
+# Full benchmark suite (figures + ablations + construction).
+bench:
+	$(GO) test -run '^$$' -bench . .
+
+# Regenerate the machine-readable construction-performance record that is
+# tracked across PRs.
+bench-build:
+	$(GO) run ./cmd/experiments -bench-build BENCH_build.json

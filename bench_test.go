@@ -117,6 +117,80 @@ func BenchmarkFig13Decomposition(b *testing.B) {
 	})
 }
 
+// --- Construction hot path ------------------------------------------------
+
+// BenchmarkBuild measures full index construction (ns/op and allocs/op) for
+// every constraint-selection algorithm across dimensions — the quantity the
+// paper's §2 optimizes and the one BENCH_build.json tracks across PRs
+// (regenerate with `make bench-build`).
+func BenchmarkBuild(b *testing.B) {
+	const n = 250
+	for _, alg := range nncell.Algorithms() {
+		for _, d := range []int{4, 8, 16} {
+			b.Run(fmt.Sprintf("%s/d=%d", alg, d), func(b *testing.B) {
+				rng := rand.New(rand.NewSource(int64(100*d + int(alg))))
+				pts := dataset.Deduplicate(dataset.Uniform(rng, n, d))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := nncell.Build(pts, vec.UnitCube(d), pager.New(pager.Config{}),
+						nncell.Options{Algorithm: alg}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkSolveMBR isolates the warm 2·d-extent LP loop over one shared,
+// pre-loaded constraint set — the per-cell inner loop of construction. The
+// solver reuse contract requires 0 allocs/op here.
+func BenchmarkSolveMBR(b *testing.B) {
+	rng := rand.New(rand.NewSource(17))
+	for _, d := range []int{4, 8, 16} {
+		for _, m := range []int{50, 500} {
+			b.Run(fmt.Sprintf("d=%d/m=%d", d, m), func(b *testing.B) {
+				p := &lp.Problem{NumVars: d, Lo: make([]float64, d), Hi: make([]float64, d)}
+				center := make([]float64, d)
+				for j := 0; j < d; j++ {
+					p.Hi[j] = 1
+					center[j] = 0.3 + 0.4*rng.Float64()
+				}
+				for i := 0; i < m; i++ {
+					a := make([]float64, d)
+					dot := 0.0
+					for j := 0; j < d; j++ {
+						a[j] = rng.NormFloat64()
+						dot += a[j] * center[j]
+					}
+					p.Cons = append(p.Cons, lp.Constraint{A: a, B: dot + 0.1*rng.Float64()})
+				}
+				var s lp.Solver
+				if err := s.Load(p); err != nil {
+					b.Fatal(err)
+				}
+				c := make([]float64, d)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for j := 0; j < d; j++ {
+						c[j] = 1
+						if _, err := s.Solve(c); err != nil {
+							b.Fatal(err)
+						}
+						c[j] = -1
+						if _, err := s.Solve(c); err != nil {
+							b.Fatal(err)
+						}
+						c[j] = 0
+					}
+				}
+			})
+		}
+	}
+}
+
 // --- Ablations -----------------------------------------------------------
 
 // BenchmarkAblationDecompK varies the fragment budget k and reports the

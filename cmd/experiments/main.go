@@ -8,6 +8,7 @@
 //	experiments -fig all
 //	experiments -fig fig7,fig8 -n 10000 -queries 500
 //	experiments -fig fig13 -small-n 800 -decompose 10 -csv
+//	experiments -bench-build BENCH_build.json
 package main
 
 import (
@@ -32,8 +33,32 @@ func main() {
 		cache     = flag.Int("cache", 0, "cache budget in pages per structure (default 64)")
 		decompose = flag.Int("decompose", 0, "fragment budget for decomposition figures (default 10)")
 		csv       = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+
+		benchBuild = flag.String("bench-build", "", "measure Build for all four algorithms and write the JSON report to this path (skips figures)")
+		benchN     = flag.Int("bench-n", 0, "database size for -bench-build (default 250)")
+		benchDims  = flag.String("bench-dims", "", "comma-separated dimensions for -bench-build (default 4,8,16)")
 	)
 	flag.Parse()
+
+	if *benchBuild != "" {
+		dims, err := parseInts(*benchDims)
+		if err != nil {
+			fatalf("bad -bench-dims: %v", err)
+		}
+		rep, err := experiments.BenchBuild(*benchN, dims)
+		if err != nil {
+			fatalf("bench-build: %v", err)
+		}
+		if err := rep.WriteJSON(*benchBuild); err != nil {
+			fatalf("bench-build: %v", err)
+		}
+		for _, r := range rep.Results {
+			fmt.Printf("%-13s d=%-3d %12.0f ns/op %10d allocs/op %12d B/op\n",
+				r.Algorithm, r.Dim, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp)
+		}
+		fmt.Printf("wrote %s\n", *benchBuild)
+		return
+	}
 
 	cfg := experiments.Config{
 		N: *n, SmallN: *smallN, Queries: *queries, Seed: *seed,

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"encoding/json"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/nncell"
+	"repro/internal/pager"
+	"repro/internal/vec"
+)
+
+// BuildBenchResult is one measured Build configuration of the construction
+// benchmark (BENCH_build.json): wall time and allocation profile of
+// nncell.Build for one algorithm at one dimensionality.
+type BuildBenchResult struct {
+	Algorithm   string  `json:"algorithm"`
+	Dim         int     `json:"dim"`
+	N           int     `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	LPSolves    uint64  `json:"lp_solves"`
+	LPPivots    uint64  `json:"lp_pivots"`
+	Fragments   uint64  `json:"fragments"`
+}
+
+// BuildBenchReport is the machine-readable construction-performance record
+// emitted by `cmd/experiments -bench-build` so the build-throughput
+// trajectory is tracked across PRs.
+type BuildBenchReport struct {
+	N       int                `json:"n"`
+	Dims    []int              `json:"dims"`
+	Go      string             `json:"go"`
+	Results []BuildBenchResult `json:"results"`
+}
+
+// BenchBuild measures nncell.Build for every constraint-selection algorithm
+// at each dimension via testing.Benchmark (same measurement machinery as
+// `go test -bench`), reporting ns/op and allocs/op plus the index's own LP
+// counters for one representative build.
+func BenchBuild(n int, dims []int) (*BuildBenchReport, error) {
+	if n <= 0 {
+		n = 250
+	}
+	if len(dims) == 0 {
+		dims = []int{4, 8, 16}
+	}
+	rep := &BuildBenchReport{N: n, Dims: dims, Go: runtime.Version()}
+	for _, alg := range nncell.Algorithms() {
+		for _, d := range dims {
+			rng := rand.New(rand.NewSource(int64(100*d + int(alg))))
+			pts := dataset.Deduplicate(dataset.Uniform(rng, n, d))
+			opts := nncell.Options{Algorithm: alg}
+			var buildErr error
+			var stats nncell.Stats
+			res := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					ix, err := nncell.Build(pts, vec.UnitCube(d), pager.New(pager.Config{}), opts)
+					if err != nil {
+						buildErr = err
+						b.Fatal(err)
+					}
+					stats = ix.Stats()
+				}
+			})
+			if buildErr != nil {
+				return nil, buildErr
+			}
+			rep.Results = append(rep.Results, BuildBenchResult{
+				Algorithm:   alg.String(),
+				Dim:         d,
+				N:           n,
+				NsPerOp:     float64(res.NsPerOp()),
+				AllocsPerOp: res.AllocsPerOp(),
+				BytesPerOp:  res.AllocedBytesPerOp(),
+				LPSolves:    stats.LPSolves,
+				LPPivots:    stats.LPPivots,
+				Fragments:   stats.Fragments,
+			})
+		}
+	}
+	return rep, nil
+}
+
+// WriteJSON writes the report to path, indented for diff-friendly tracking.
+func (r *BuildBenchReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

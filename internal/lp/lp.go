@@ -11,19 +11,24 @@
 // algorithm. The defining characteristic is d ≤ ~20 variables but potentially
 // tens of thousands of constraints, so the package provides:
 //
-//   - Maximize: a revised simplex on the *dual* program. The dual of an LP
-//     with d variables and m constraints has a d×d basis regardless of m; each
+//   - Solver: a reusable dual revised simplex. The dual of an LP with d
+//     variables and m constraints has a d×d basis regardless of m; each
 //     iteration scans the m columns once (O(m·d)) and refactorizes the tiny
 //     basis (O(d³)). Because the data-space box rows are always present, a
 //     dual-feasible starting basis exists in closed form and no phase-1 is
-//     ever needed.
+//     ever needed. A Solver validates and row-normalizes the constraint set
+//     once (Load), then solves any number of objectives over it (Solve)
+//     without heap allocation — exactly the access pattern of the 2·d extent
+//     LPs of one cell, which share one constraint set.
+//
+//   - Maximize: the one-shot convenience wrapper over a throwaway Solver.
 //
 //   - MaximizeSeidel: Seidel's randomized incremental algorithm [Sei 90],
 //     cited by the paper as the expected O(d!·n) bound for its LP step. It is
 //     implemented independently of the simplex and serves as a cross-checking
 //     oracle in tests (practical for small d).
 //
-// Both solvers return the optimal vertex, the objective value, and the set of
+// All solvers return the optimal vertex, the objective value, and the set of
 // tight constraints.
 package lp
 
@@ -51,6 +56,9 @@ var (
 	// ErrNumeric is returned when the solver could not make progress within
 	// its iteration budget, indicating severe degeneracy or bad scaling.
 	ErrNumeric = errors.New("lp: numerical difficulty, iteration limit reached")
+	// ErrNotLoaded is returned by Solver.Solve and Solver.SetBounds before a
+	// successful Load.
+	ErrNotLoaded = errors.New("lp: Solve before Load")
 )
 
 // Constraint is a single half-space a·x ≤ b.
@@ -103,63 +111,99 @@ type Result struct {
 }
 
 // Maximize solves the problem with the dual revised simplex. It returns
-// ErrInfeasible if the constraint set excludes the entire box.
-//
-// Method. The dual of {max c·x : Ax ≤ b} is {min b·y : Aᵀy = c, y ≥ 0}. We
-// fold the box into A as 2·d extra rows (+e_j ≤ hi_j and −e_j ≤ −lo_j), so
-// the columns of Aᵀ include ±e_j for every dimension. Picking, for each j,
-// the +e_j column when c_j ≥ 0 and the −e_j column otherwise yields a basis
-// B = diag(±1) with B⁻¹c = |c| ≥ 0 — a dual-feasible starting point with no
-// phase-1. Pricing uses Dantzig's rule and falls back to Bland's rule after a
-// run of degenerate pivots, which guarantees termination.
+// ErrInfeasible if the constraint set excludes the entire box. The returned
+// Result is owned by the caller. Hot paths that solve many objectives over
+// one constraint set should use a Solver directly.
 func Maximize(p *Problem, c []float64) (*Result, error) {
-	if err := p.Validate(); err != nil {
+	var s Solver
+	if err := s.Load(p); err != nil {
 		return nil, err
 	}
-	if len(c) != p.NumVars {
-		return nil, fmt.Errorf("lp: objective has %d coefficients, want %d", len(c), p.NumVars)
+	res, err := s.Solve(c)
+	if err != nil {
+		return nil, err
 	}
-	s := newDualSimplex(p, c)
-	return s.solve()
+	out := &Result{
+		X:          append([]float64(nil), res.X...),
+		Value:      res.Value,
+		Tight:      append([]int(nil), res.Tight...),
+		Iterations: res.Iterations,
+	}
+	return out, nil
 }
 
-// dualSimplex holds the working state of one Maximize call.
+// Solver is a reusable dual revised simplex. The zero value is ready for use:
 //
-// Column layout of the dual constraint matrix M (d rows): columns 0..m-1 are
-// the user constraints (M_j = Cons[j].A scaled), columns m..m+d-1 are the box
-// upper rows (+e_j), columns m+d..m+2d-1 the box lower rows (−e_j).
-type dualSimplex struct {
-	d, m  int
-	cols  [][]float64 // user-constraint columns, row-normalized
-	w     []float64   // dual objective: normalized b, then hi, then -lo
-	lo    []float64
-	hi    []float64
-	c     []float64 // primal objective
+//	var s lp.Solver
+//	s.Load(problem)        // validate + row-normalize once
+//	for each objective c:
+//	    res, err := s.Solve(c)   // zero heap allocations when warm
+//
+// Load captures the constraint set; Solve runs one objective over it;
+// SetBounds swaps the variable box without re-normalizing the constraints
+// (the NN-cell decomposition solves the same bisector set over many slab
+// boxes). All scratch state — the basis, its inverse, the row-normalized
+// constraint matrix (one flat backing array) and the pricing buffers — lives
+// in the Solver and is grown on demand, so a warm Solver allocates nothing.
+//
+// The Result returned by Solve aliases solver-owned buffers and is valid only
+// until the next Solve or Load; callers that keep results must copy them
+// (Maximize does). A Solver must not be used from multiple goroutines
+// concurrently; build pipelines use one Solver per worker.
+type Solver struct {
+	d, m   int
+	lo, hi []float64 // caller's box (not copied)
+
+	// Dual constraint matrix. Column layout (d rows): columns 0..m-1 are the
+	// user constraints, row-normalized to unit infinity norm; columns
+	// m..m+d-1 are the box upper rows (+e_j), columns m+d..m+2d-1 the box
+	// lower rows (−e_j). User columns are stored in one flat backing array,
+	// column j at cons[j*d : (j+1)*d].
+	cons []float64
+	w    []float64 // dual objective: normalized b, then hi, then -lo
+
+	c     []float64 // current primal objective (not copied; set per Solve)
 	basis []int     // d column indices
-	binv  [][]float64
+
+	binv     [][]float64 // B⁻¹, d rows into binvFlat
+	binvFlat []float64
+	mat      [][]float64 // refactor scratch [B | I], d rows × 2d into matFlat
+	matFlat  []float64
+
+	lambda  []float64 // dual basic values B⁻¹ c
+	pi      []float64 // simplex multipliers w_B B⁻¹
+	u       []float64 // entering column in basis coordinates
+	colbuf  []float64
+	inBasis []bool
+
+	x     []float64 // result vertex buffer
+	tight []int     // result tight-set buffer
+	res   Result
 }
 
-func newDualSimplex(p *Problem, c []float64) *dualSimplex {
-	d, m := p.NumVars, len(p.Cons)
-	s := &dualSimplex{
-		d: d, m: m,
-		cols: make([][]float64, m),
-		w:    make([]float64, m+2*d),
-		lo:   p.Lo, hi: p.Hi,
-		c:     c,
-		basis: make([]int, d),
+// Load validates p, row-normalizes its constraints into the solver's flat
+// matrix, and sizes all scratch state. It may be called any number of times;
+// buffers are reused across Loads whenever they are large enough.
+func (s *Solver) Load(p *Problem) error {
+	if err := p.Validate(); err != nil {
+		return err
 	}
-	for j, con := range p.Cons {
+	d, m := p.NumVars, len(p.Cons)
+	s.sizeScratch(d, m)
+	s.d, s.m = d, m
+	s.lo, s.hi = p.Lo, p.Hi
+	for j := range p.Cons {
+		con := &p.Cons[j]
+		col := s.cons[j*d : (j+1)*d]
 		// Normalize each row to unit infinity norm for conditioning. A zero
-		// row is either trivially satisfiable (b >= 0, drop by making it
-		// never enter: keep as-is with zero column) or infeasible.
+		// row is either trivially satisfiable (b >= 0, kept as a zero column
+		// that can never enter the basis) or infeasible.
 		scale := 0.0
 		for _, a := range con.A {
 			if v := math.Abs(a); v > scale {
 				scale = v
 			}
 		}
-		col := make([]float64, d)
 		b := con.B
 		if scale > 0 {
 			inv := 1 / scale
@@ -167,22 +211,104 @@ func newDualSimplex(p *Problem, c []float64) *dualSimplex {
 				col[i] = a * inv
 			}
 			b *= inv
+		} else {
+			for i := range col {
+				col[i] = 0
+			}
 		}
-		s.cols[j] = col
 		s.w[j] = b
 	}
-	for j := 0; j < d; j++ {
-		s.w[m+j] = p.Hi[j]
-		s.w[m+d+j] = -p.Lo[j]
+	s.loadBoxW()
+	return nil
+}
+
+// SetBounds replaces the variable box of the loaded problem, keeping the
+// normalized constraint matrix. This is the per-slab fast path of the NN-cell
+// decomposition: O(d) instead of the O(m·d) of a full Load.
+func (s *Solver) SetBounds(lo, hi []float64) error {
+	if s.d == 0 {
+		return ErrNotLoaded
 	}
-	return s
+	if len(lo) != s.d || len(hi) != s.d {
+		return fmt.Errorf("lp: bounds have length %d/%d, want %d", len(lo), len(hi), s.d)
+	}
+	for i := range lo {
+		if !(lo[i] <= hi[i]) { // also catches NaN
+			return fmt.Errorf("lp: bound %d inverted or NaN: [%v, %v]", i, lo[i], hi[i])
+		}
+	}
+	s.lo, s.hi = lo, hi
+	s.loadBoxW()
+	return nil
+}
+
+// loadBoxW writes the box rows' dual objective entries.
+func (s *Solver) loadBoxW() {
+	d, m := s.d, s.m
+	for j := 0; j < d; j++ {
+		s.w[m+j] = s.hi[j]
+		s.w[m+d+j] = -s.lo[j]
+	}
+}
+
+// sizeScratch (re)sizes every buffer for dimension d and m constraints.
+func (s *Solver) sizeScratch(d, m int) {
+	s.cons = growFloat(s.cons, m*d)
+	s.w = growFloat(s.w, m+2*d)
+	s.inBasis = growBool(s.inBasis, m+2*d)
+	if cap(s.basis) < d {
+		s.basis = make([]int, d)
+	} else {
+		s.basis = s.basis[:d]
+	}
+	if cap(s.tight) < d {
+		s.tight = make([]int, 0, d)
+	}
+	s.lambda = growFloat(s.lambda, d)
+	s.pi = growFloat(s.pi, d)
+	s.u = growFloat(s.u, d)
+	s.colbuf = growFloat(s.colbuf, d)
+	s.x = growFloat(s.x, d)
+	if d != len(s.binv) {
+		s.binvFlat = growFloat(s.binvFlat, d*d)
+		s.binv = resliceRows(s.binv, s.binvFlat, d, d)
+		s.matFlat = growFloat(s.matFlat, d*2*d)
+		s.mat = resliceRows(s.mat, s.matFlat, d, 2*d)
+	}
+}
+
+func growFloat(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growBool(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}
+
+// resliceRows carves rows of the given width out of one flat backing array.
+func resliceRows(rows [][]float64, flat []float64, n, width int) [][]float64 {
+	if cap(rows) < n {
+		rows = make([][]float64, n)
+	} else {
+		rows = rows[:n]
+	}
+	for i := range rows {
+		rows[i] = flat[i*width : (i+1)*width]
+	}
+	return rows
 }
 
 // column materializes dual column k into dst.
-func (s *dualSimplex) column(k int, dst []float64) {
+func (s *Solver) column(k int, dst []float64) {
 	switch {
 	case k < s.m:
-		copy(dst, s.cols[k])
+		copy(dst, s.cons[k*s.d:(k+1)*s.d])
 	case k < s.m+s.d:
 		for i := range dst {
 			dst[i] = 0
@@ -196,11 +322,27 @@ func (s *dualSimplex) column(k int, dst []float64) {
 	}
 }
 
-func (s *dualSimplex) solve() (*Result, error) {
+// Solve maximizes c over the loaded problem.
+//
+// Method. The dual of {max c·x : Ax ≤ b} is {min b·y : Aᵀy = c, y ≥ 0}. We
+// fold the box into A as 2·d extra rows (+e_j ≤ hi_j and −e_j ≤ −lo_j), so
+// the columns of Aᵀ include ±e_j for every dimension. Picking, for each j,
+// the +e_j column when c_j ≥ 0 and the −e_j column otherwise yields a basis
+// B = diag(±1) with B⁻¹c = |c| ≥ 0 — a dual-feasible starting point with no
+// phase-1. Pricing uses Dantzig's rule and falls back to Bland's rule after a
+// run of degenerate pivots, which guarantees termination.
+func (s *Solver) Solve(c []float64) (*Result, error) {
+	if s.d == 0 {
+		return nil, ErrNotLoaded
+	}
+	if len(c) != s.d {
+		return nil, fmt.Errorf("lp: objective has %d coefficients, want %d", len(c), s.d)
+	}
+	s.c = c
 	d := s.d
 	// Starting basis: signed identity from box rows.
 	for j := 0; j < d; j++ {
-		if s.c[j] >= 0 {
+		if c[j] >= 0 {
 			s.basis[j] = s.m + j // +e_j column
 		} else {
 			s.basis[j] = s.m + s.d + j // -e_j column
@@ -210,11 +352,7 @@ func (s *dualSimplex) solve() (*Result, error) {
 		return nil, err
 	}
 
-	lambda := make([]float64, d) // current dual basic values B⁻¹ c
-	pi := make([]float64, d)     // simplex multipliers w_B B⁻¹
-	u := make([]float64, d)      // entering column in basis coordinates
-	colbuf := make([]float64, d)
-	inBasis := make([]bool, s.m+2*d)
+	lambda, pi, u, colbuf, inBasis := s.lambda, s.pi, s.u, s.colbuf, s.inBasis
 
 	degenerate := 0
 	bland := false
@@ -224,7 +362,7 @@ func (s *dualSimplex) solve() (*Result, error) {
 		for i := 0; i < d; i++ {
 			v := 0.0
 			for j := 0; j < d; j++ {
-				v += s.binv[i][j] * s.c[j]
+				v += s.binv[i][j] * c[j]
 			}
 			lambda[i] = v
 		}
@@ -255,7 +393,7 @@ func (s *dualSimplex) solve() (*Result, error) {
 			switch {
 			case k < s.m:
 				red = s.w[k]
-				col := s.cols[k]
+				col := s.cons[k*d : (k+1)*d]
 				for i := 0; i < d; i++ {
 					red -= pi[i] * col[i]
 				}
@@ -326,32 +464,34 @@ func (s *dualSimplex) solve() (*Result, error) {
 // constraints, with equality on the basic columns — so the simplex
 // multipliers π are exactly the complementary primal vertex, and
 // c·π = w_B·λ is the optimal value by strong duality.
-func (s *dualSimplex) finish(pi, lambda []float64, iters int) (*Result, error) {
+func (s *Solver) finish(pi, lambda []float64, iters int) (*Result, error) {
 	d := s.d
-	x := make([]float64, d)
-	copy(x, pi)
+	copy(s.x, pi)
 	val := 0.0
 	for j := 0; j < d; j++ {
-		val += s.c[j] * x[j]
+		val += s.c[j] * s.x[j]
 	}
-	res := &Result{X: x, Value: val, Iterations: iters}
+	tight := s.tight[:0]
 	for i, k := range s.basis {
 		if k < s.m && lambda[i] > tolRed {
-			res.Tight = append(res.Tight, k)
+			tight = append(tight, k)
 		}
 	}
-	return res, nil
+	s.tight = tight
+	s.res = Result{X: s.x, Value: val, Iterations: iters}
+	if len(tight) > 0 {
+		s.res.Tight = tight
+	}
+	return &s.res, nil
 }
 
-// refactor recomputes binv = B⁻¹ from scratch. With d ≤ ~20 this costs
-// microseconds and sidesteps product-form update drift.
-func (s *dualSimplex) refactor() error {
+// refactor recomputes binv = B⁻¹ from scratch into the preallocated scratch
+// matrix. With d ≤ ~20 this costs microseconds and sidesteps product-form
+// update drift.
+func (s *Solver) refactor() error {
 	d := s.d
-	mat := make([][]float64, d)
-	col := make([]float64, d)
-	for i := 0; i < d; i++ {
-		mat[i] = make([]float64, 2*d)
-	}
+	mat := s.mat
+	col := s.colbuf
 	for j, k := range s.basis {
 		s.column(k, col)
 		for i := 0; i < d; i++ {
@@ -359,7 +499,11 @@ func (s *dualSimplex) refactor() error {
 		}
 	}
 	for i := 0; i < d; i++ {
-		mat[i][d+i] = 1
+		right := mat[i][d:]
+		for j := range right {
+			right[j] = 0
+		}
+		right[i] = 1
 	}
 	// Gauss-Jordan with partial pivoting on the augmented [B | I].
 	for c := 0; c < d; c++ {
@@ -385,12 +529,6 @@ func (s *dualSimplex) refactor() error {
 			for j := 0; j < 2*d; j++ {
 				mat[r][j] -= f * mat[c][j]
 			}
-		}
-	}
-	if s.binv == nil {
-		s.binv = make([][]float64, d)
-		for i := range s.binv {
-			s.binv[i] = make([]float64, d)
 		}
 	}
 	for i := 0; i < d; i++ {

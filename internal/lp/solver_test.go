@@ -1,0 +1,198 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestSolverMatchesMaximize checks that a reused Solver is bit-for-bit
+// identical to the one-shot Maximize on shared seeds — same vertex, value,
+// tight set and pivot count — across many problems and the 2·d axis
+// objectives of the NN-cell extent loop.
+func TestSolverMatchesMaximize(t *testing.T) {
+	rng := rand.New(rand.NewSource(1998))
+	var s Solver // one solver reused across all trials
+	for trial := 0; trial < 200; trial++ {
+		d := 2 + rng.Intn(6)
+		m := 1 + rng.Intn(50)
+		p, _ := feasibleProblem(rng, d, m)
+		if err := s.Load(p); err != nil {
+			t.Fatalf("trial %d: Load: %v", trial, err)
+		}
+		c := make([]float64, d)
+		for j := 0; j < d; j++ {
+			for _, sign := range []float64{1, -1} {
+				c[j] = sign
+				rs, err := s.Solve(c)
+				if err != nil {
+					t.Fatalf("trial %d: Solve: %v", trial, err)
+				}
+				rm, err := Maximize(p, c)
+				if err != nil {
+					t.Fatalf("trial %d: Maximize: %v", trial, err)
+				}
+				if rs.Value != rm.Value {
+					t.Fatalf("trial %d dim %d sign %v: Solver value %v != Maximize value %v",
+						trial, j, sign, rs.Value, rm.Value)
+				}
+				for i := range rs.X {
+					if rs.X[i] != rm.X[i] {
+						t.Fatalf("trial %d: X[%d] = %v vs %v", trial, i, rs.X[i], rm.X[i])
+					}
+				}
+				if rs.Iterations != rm.Iterations {
+					t.Fatalf("trial %d: iterations %d vs %d", trial, rs.Iterations, rm.Iterations)
+				}
+				if len(rs.Tight) != len(rm.Tight) {
+					t.Fatalf("trial %d: tight sets %v vs %v", trial, rs.Tight, rm.Tight)
+				}
+				for i := range rs.Tight {
+					if rs.Tight[i] != rm.Tight[i] {
+						t.Fatalf("trial %d: tight sets %v vs %v", trial, rs.Tight, rm.Tight)
+					}
+				}
+			}
+			c[j] = 0
+		}
+	}
+}
+
+// TestSolverMatchesSeidel cross-checks the reused Solver against the
+// independently implemented Seidel oracle on shared seeds.
+func TestSolverMatchesSeidel(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var s Solver
+	for trial := 0; trial < 150; trial++ {
+		d := 2 + rng.Intn(4)
+		m := 1 + rng.Intn(30)
+		p, _ := feasibleProblem(rng, d, m)
+		if err := s.Load(p); err != nil {
+			t.Fatalf("trial %d: Load: %v", trial, err)
+		}
+		c := make([]float64, d)
+		for j := range c {
+			c[j] = rng.NormFloat64()
+		}
+		rs, err := s.Solve(c)
+		if err != nil {
+			t.Fatalf("trial %d: Solve: %v", trial, err)
+		}
+		checkFeasible(t, p, rs.X, "solver")
+		rq, err := MaximizeSeidel(p, c, rng)
+		if err != nil {
+			t.Fatalf("trial %d: seidel: %v", trial, err)
+		}
+		if diff := math.Abs(rs.Value - rq.Value); diff > 1e-6*(1+math.Abs(rs.Value)) {
+			t.Fatalf("trial %d (d=%d m=%d): solver %v vs seidel %v", trial, d, m, rs.Value, rq.Value)
+		}
+	}
+}
+
+// TestSolverSetBounds checks the slab fast path: SetBounds must agree with a
+// full Load of the same problem under the new box.
+func TestSolverSetBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var s Solver
+	for trial := 0; trial < 100; trial++ {
+		d := 2 + rng.Intn(4)
+		m := 2 + rng.Intn(25)
+		p, p0 := feasibleProblem(rng, d, m)
+		if err := s.Load(p); err != nil {
+			t.Fatalf("trial %d: Load: %v", trial, err)
+		}
+		// A random sub-box around the known feasible point.
+		lo := make([]float64, d)
+		hi := make([]float64, d)
+		for j := 0; j < d; j++ {
+			lo[j] = p0[j] * rng.Float64()
+			hi[j] = p0[j] + (1-p0[j])*rng.Float64()
+		}
+		if err := s.SetBounds(lo, hi); err != nil {
+			t.Fatalf("trial %d: SetBounds: %v", trial, err)
+		}
+		c := make([]float64, d)
+		c[rng.Intn(d)] = 1
+		rs, err := s.Solve(c)
+		if err != nil {
+			t.Fatalf("trial %d: Solve: %v", trial, err)
+		}
+		sub := &Problem{NumVars: d, Cons: p.Cons, Lo: lo, Hi: hi}
+		rm, err := Maximize(sub, c)
+		if err != nil {
+			t.Fatalf("trial %d: Maximize: %v", trial, err)
+		}
+		if rs.Value != rm.Value {
+			t.Fatalf("trial %d: SetBounds value %v != Load value %v", trial, rs.Value, rm.Value)
+		}
+	}
+}
+
+// TestSolverErrors covers the not-loaded and bad-objective paths.
+func TestSolverErrors(t *testing.T) {
+	var s Solver
+	if _, err := s.Solve([]float64{1}); err != ErrNotLoaded {
+		t.Fatalf("Solve before Load: got %v, want ErrNotLoaded", err)
+	}
+	if err := s.SetBounds([]float64{0}, []float64{1}); err != ErrNotLoaded {
+		t.Fatalf("SetBounds before Load: got %v, want ErrNotLoaded", err)
+	}
+	p := &Problem{NumVars: 2, Lo: []float64{0, 0}, Hi: []float64{1, 1}}
+	if err := s.Load(p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Solve([]float64{1}); err == nil {
+		t.Fatal("short objective accepted")
+	}
+	if err := s.SetBounds([]float64{0}, []float64{1}); err == nil {
+		t.Fatal("short bounds accepted")
+	}
+	if err := s.SetBounds([]float64{1, 1}, []float64{0, 0}); err == nil {
+		t.Fatal("inverted bounds accepted")
+	}
+}
+
+// TestSolverZeroAllocWarm pins the tentpole property: a warm Solver solves
+// without any heap allocation — Load once, then the 2·d extent objectives of
+// a cell run alloc-free.
+func TestSolverZeroAllocWarm(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d, m := 8, 300
+	p, _ := feasibleProblem(rng, d, m)
+	var s Solver
+	if err := s.Load(p); err != nil {
+		t.Fatal(err)
+	}
+	c := make([]float64, d)
+	solveAll := func() {
+		for j := 0; j < d; j++ {
+			c[j] = 1
+			if _, err := s.Solve(c); err != nil {
+				t.Fatal(err)
+			}
+			c[j] = -1
+			if _, err := s.Solve(c); err != nil {
+				t.Fatal(err)
+			}
+			c[j] = 0
+		}
+	}
+	solveAll() // warm up
+	if allocs := testing.AllocsPerRun(20, solveAll); allocs != 0 {
+		t.Fatalf("warm Solve loop allocates %v per 2d-extent batch, want 0", allocs)
+	}
+	// Reloading the same shape must stay alloc-free too (the per-cell path).
+	reload := func() {
+		if err := s.Load(p); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Solve(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c[0] = 1
+	reload()
+	if allocs := testing.AllocsPerRun(20, reload); allocs != 0 {
+		t.Fatalf("warm Load+Solve allocates %v, want 0", allocs)
+	}
+}

@@ -10,10 +10,29 @@ import (
 	"repro/internal/xtree"
 )
 
+// cellCtx bundles the reusable scratch state of cell construction: the LP
+// solver (normalized once per constraint set, then run for all 2·d extent
+// objectives), the bisector constraint matrix in one flat backing array, and
+// the objective / id buffers. One cellCtx serves one goroutine at a time; the
+// bulk builder keeps one per worker, the dynamic path one per operation.
+type cellCtx struct {
+	solver   lp.Solver
+	prob     lp.Problem
+	cons     []lp.Constraint
+	consFlat []float64 // len(cons)·d coefficient backing, row k at [k*d:(k+1)*d]
+	c        []float64 // objective buffer (len d)
+	ids      []int     // constraint-point id buffer
+}
+
+func newCellCtx(d int) *cellCtx {
+	return &cellCtx{c: make([]float64, d)}
+}
+
 // approximateCell computes the fragment MBRs of point i's NN-cell using the
 // configured algorithm and decomposition. It reads ix.points/ix.dataIdx but
-// never mutates the index, so the builder may call it from many goroutines.
-func (ix *Index) approximateCell(i int) ([]vec.Rect, error) {
+// never mutates the index, so the builder may call it from many goroutines,
+// each with its own cellCtx.
+func (ix *Index) approximateCell(cc *cellCtx, i int) ([]vec.Rect, error) {
 	p := ix.points[i]
 	if p == nil {
 		return nil, fmt.Errorf("nncell: approximating tombstoned point %d", i)
@@ -24,17 +43,17 @@ func (ix *Index) approximateCell(i int) ([]vec.Rect, error) {
 		err  error
 	)
 	if ix.opts.Algorithm == Correct {
-		mbr, cons, err = ix.correctMBR(i)
+		mbr, cons, err = ix.correctMBR(cc, i)
 	} else {
 		ids := ix.selectConstraintPoints(i)
-		cons = ix.bisectors(p, ids)
-		mbr, err = ix.solveMBR(p, cons)
+		cons = ix.bisectors(cc, p, ids)
+		mbr, err = ix.solveMBR(cc, p, cons)
 	}
 	if err != nil {
 		return nil, err
 	}
 	if ix.opts.Decompose > 1 {
-		return ix.decompose(p, cons, mbr)
+		return ix.decompose(cc, cons, mbr)
 	}
 	return []vec.Rect{ix.finishRect(mbr)}, nil
 }
@@ -52,48 +71,62 @@ func (ix *Index) finishRect(r vec.Rect) vec.Rect {
 }
 
 // bisectors converts constraint point ids into the half-spaces
-// {x : d(x,P) ≤ d(x,Q)} = {x : 2(Q−P)·x ≤ ‖Q‖² − ‖P‖²}.
-func (ix *Index) bisectors(p vec.Point, ids []int) []lp.Constraint {
-	cons := make([]lp.Constraint, 0, len(ids))
+// {x : d(x,P) ≤ d(x,Q)} = {x : 2(Q−P)·x ≤ ‖Q‖² − ‖P‖²}. The coefficient rows
+// live in cc's flat backing array, so one cell's whole constraint set costs
+// at most one (amortized zero) allocation; the returned slice aliases cc and
+// is valid until the next bisectors call on the same ctx.
+func (ix *Index) bisectors(cc *cellCtx, p vec.Point, ids []int) []lp.Constraint {
+	d := ix.dim
+	if need := len(ids) * d; cap(cc.consFlat) < need {
+		cc.consFlat = make([]float64, need)
+	} else {
+		cc.consFlat = cc.consFlat[:need]
+	}
+	if cap(cc.cons) < len(ids) {
+		cc.cons = make([]lp.Constraint, len(ids))
+	} else {
+		cc.cons = cc.cons[:len(ids)]
+	}
 	pn := p.Norm2()
+	n := 0
 	for _, id := range ids {
 		q := ix.points[id]
 		if q == nil {
 			continue
 		}
-		a := make([]float64, ix.dim)
-		for j := 0; j < ix.dim; j++ {
+		a := cc.consFlat[n*d : (n+1)*d]
+		for j := 0; j < d; j++ {
 			a[j] = 2 * (q[j] - p[j])
 		}
-		cons = append(cons, lp.Constraint{A: a, B: q.Norm2() - pn})
+		cc.cons[n] = lp.Constraint{A: a, B: q.Norm2() - pn}
+		n++
 	}
-	ix.stats.constraintPoints.Add(uint64(len(cons)))
+	cons := cc.cons[:n]
+	ix.stats.constraintPoints.Add(uint64(n))
 	return cons
 }
 
 // solveMBR runs the 2·d extent LPs of Definition 3 over the given bisector
-// constraints and returns the (un-padded) MBR.
-func (ix *Index) solveMBR(p vec.Point, cons []lp.Constraint) (vec.Rect, error) {
-	prob := &lp.Problem{NumVars: ix.dim, Cons: cons, Lo: ix.bounds.Lo, Hi: ix.bounds.Hi}
-	return ix.solveMBRBox(p, prob)
-}
-
-// solveMBRBox is solveMBR with an explicit variable box (used by the
-// decomposition to restrict the LP to one slab).
-func (ix *Index) solveMBRBox(p vec.Point, prob *lp.Problem) (vec.Rect, error) {
-	d := prob.NumVars
+// constraints and returns the (un-padded) MBR. The constraint set is
+// normalized and validated once; all 2·d objectives reuse it.
+func (ix *Index) solveMBR(cc *cellCtx, p vec.Point, cons []lp.Constraint) (vec.Rect, error) {
+	cc.prob = lp.Problem{NumVars: ix.dim, Cons: cons, Lo: ix.bounds.Lo, Hi: ix.bounds.Hi}
+	if err := cc.solver.Load(&cc.prob); err != nil {
+		return vec.Rect{}, err
+	}
+	d := ix.dim
 	mbr := vec.EmptyRect(d)
-	c := make([]float64, d)
+	c := cc.c
 	for j := 0; j < d; j++ {
 		c[j] = 1
-		res, err := lp.Maximize(prob, c)
+		res, err := cc.solver.Solve(c)
 		if err != nil {
 			return vec.Rect{}, err
 		}
 		ix.noteLP(res)
 		mbr.Hi[j] = res.Value
 		c[j] = -1
-		res, err = lp.Maximize(prob, c)
+		res, err = cc.solver.Solve(c)
 		if err != nil {
 			return vec.Rect{}, err
 		}
@@ -123,14 +156,14 @@ func (ix *Index) noteLP(res *lp.Result) {
 // without changing the LP optimum. The radius starts at an estimate from the
 // nearest neighbors and grows until the solved MBR certifies itself
 // (max corner distance ≤ R) or every live point is included.
-func (ix *Index) correctMBR(i int) (vec.Rect, []lp.Constraint, error) {
+func (ix *Index) correctMBR(cc *cellCtx, i int) (vec.Rect, []lp.Constraint, error) {
 	p := ix.points[i]
 	r := ix.initialRadius(i)
 	maxR := cornerDist(p, ix.bounds)
 	for {
-		ids, all := ix.pointsWithin(i, 2*r)
-		cons := ix.bisectors(p, ids)
-		mbr, err := ix.solveMBR(p, cons)
+		ids, all := ix.pointsWithin(cc, i, 2*r)
+		cons := ix.bisectors(cc, p, ids)
+		mbr, err := ix.solveMBR(cc, p, cons)
 		if err != nil {
 			return vec.Rect{}, nil, err
 		}
@@ -159,22 +192,25 @@ func (ix *Index) initialRadius(i int) float64 {
 }
 
 // pointsWithin returns the ids of live points other than i within distance
-// radius of point i, and whether that is every live point.
-func (ix *Index) pointsWithin(i int, radius float64) (ids []int, all bool) {
+// radius of point i, and whether that is every live point. The retrieval is a
+// sphere range query on the data index — logarithmic-ish page touches per
+// pruning round instead of the full-point linear scan — and every retrieved
+// point is counted in Stats.PruneVisited.
+func (ix *Index) pointsWithin(cc *cellCtx, i int, radius float64) (ids []int, all bool) {
 	p := ix.points[i]
-	r2 := radius * radius
-	others := 0
-	metric := vec.Euclidean{}
-	for id, q := range ix.points {
-		if q == nil || id == i {
-			continue
-		}
-		others++
-		if metric.Dist2(p, q) <= r2 {
+	ids = cc.ids[:0]
+	visited := uint64(0)
+	ix.dataIdx.SphereQuery(p, radius, func(e xtree.Entry) bool {
+		visited++
+		id := int(e.Data)
+		if id != i && ix.points[id] != nil {
 			ids = append(ids, id)
 		}
-	}
-	return ids, len(ids) == others
+		return true
+	})
+	ix.stats.pruneVisited.Add(visited)
+	cc.ids = ids
+	return ids, len(ids) >= ix.alive-1
 }
 
 // cornerDist is the distance from p to the farthest corner of r.

@@ -13,9 +13,17 @@ import (
 // empty fragments are dropped. The total fragment budget is Options.Decompose
 // (the paper's k ≤ 10); partition counts per dimension decrease with
 // decreasing obliqueness, realized here by repeated doubling in rank order.
-func (ix *Index) decompose(p vec.Point, cons []lp.Constraint, mbr vec.Rect) ([]vec.Rect, error) {
+//
+// The constraint set is loaded into cc's solver once; every slab LP (both the
+// trial splits of the obliqueness ranking and the final fragment grid) only
+// swaps the variable box via SetBounds, skipping re-normalization.
+func (ix *Index) decompose(cc *cellCtx, cons []lp.Constraint, mbr vec.Rect) ([]vec.Rect, error) {
+	cc.prob = lp.Problem{NumVars: ix.dim, Cons: cons, Lo: ix.bounds.Lo, Hi: ix.bounds.Hi}
+	if err := cc.solver.Load(&cc.prob); err != nil {
+		return nil, err
+	}
 	k := ix.opts.Decompose
-	ranked := ix.rankDimensions(p, cons, mbr)
+	ranked := ix.rankDimensions(cc, mbr)
 	// Assign partition counts by doubling along the obliqueness ranking
 	// until the budget is exhausted: k=10 → (2,2,2), k=4 → (2,2), k=16 →
 	// (4,2,2) after the second pass, etc.
@@ -68,7 +76,7 @@ func (ix *Index) decompose(p vec.Point, cons []lp.Constraint, mbr vec.Rect) ([]v
 			// Zero extent in a split dimension: the whole cell is this slab.
 			return []vec.Rect{ix.finishRect(mbr)}, nil
 		}
-		frag, ok, err := ix.fragmentMBR(p, cons, box)
+		frag, ok, err := ix.fragmentMBR(cc, box)
 		if err != nil {
 			return nil, err
 		}
@@ -96,12 +104,15 @@ func (ix *Index) decompose(p vec.Point, cons []lp.Constraint, mbr vec.Rect) ([]v
 	return frags, nil
 }
 
-// fragmentMBR solves the extent LPs restricted to one slab box. ok=false
-// means the cell does not reach this slab (LP infeasible), so the fragment
-// is empty and needs no index entry.
-func (ix *Index) fragmentMBR(p vec.Point, cons []lp.Constraint, box vec.Rect) (vec.Rect, bool, error) {
-	prob := &lp.Problem{NumVars: ix.dim, Cons: cons, Lo: box.Lo, Hi: box.Hi}
-	mbr, err := ix.solveFragmentBox(prob)
+// fragmentMBR solves the extent LPs restricted to one slab box, against the
+// constraint set already loaded in cc's solver. ok=false means the cell does
+// not reach this slab (LP infeasible), so the fragment is empty and needs no
+// index entry.
+func (ix *Index) fragmentMBR(cc *cellCtx, box vec.Rect) (vec.Rect, bool, error) {
+	if err := cc.solver.SetBounds(box.Lo, box.Hi); err != nil {
+		return vec.Rect{}, false, err
+	}
+	mbr, err := ix.solveFragmentBox(cc)
 	if err == lp.ErrInfeasible {
 		return vec.Rect{}, false, nil
 	}
@@ -111,23 +122,26 @@ func (ix *Index) fragmentMBR(p vec.Point, cons []lp.Constraint, box vec.Rect) (v
 	return mbr, true, nil
 }
 
-// solveFragmentBox is solveMBRBox without the "must contain p" correction:
-// a fragment of P's cell generally does not contain P itself.
-func (ix *Index) solveFragmentBox(prob *lp.Problem) (vec.Rect, error) {
-	d := prob.NumVars
+// solveFragmentBox is solveMBR without the "must contain p" correction
+// (a fragment of P's cell generally does not contain P itself), over the
+// solver's currently loaded constraints and box.
+func (ix *Index) solveFragmentBox(cc *cellCtx) (vec.Rect, error) {
+	d := ix.dim
 	mbr := vec.EmptyRect(d)
-	c := make([]float64, d)
+	c := cc.c
 	for j := 0; j < d; j++ {
 		c[j] = 1
-		res, err := lp.Maximize(prob, c)
+		res, err := cc.solver.Solve(c)
 		if err != nil {
+			c[j] = 0
 			return vec.Rect{}, err
 		}
 		ix.noteLP(res)
 		mbr.Hi[j] = res.Value
 		c[j] = -1
-		res, err = lp.Maximize(prob, c)
+		res, err = cc.solver.Solve(c)
 		if err != nil {
+			c[j] = 0
 			return vec.Rect{}, err
 		}
 		ix.noteLP(res)
@@ -145,8 +159,9 @@ func (ix *Index) solveFragmentBox(prob *lp.Problem) (vec.Rect, error) {
 // rankDimensions orders dimensions by decreasing obliqueness. VolumeGreedy
 // measures, per dimension, how much total approximation volume a trial 2-way
 // decomposition would save (the paper's goal function in Definition 4);
-// ExtentBased simply prefers long cell extents.
-func (ix *Index) rankDimensions(p vec.Point, cons []lp.Constraint, mbr vec.Rect) []int {
+// ExtentBased simply prefers long cell extents. The VolumeGreedy trials run
+// against the constraint set already loaded in cc's solver.
+func (ix *Index) rankDimensions(cc *cellCtx, mbr vec.Rect) []int {
 	d := ix.dim
 	score := make([]float64, d)
 	switch ix.opts.Obliqueness {
@@ -165,7 +180,7 @@ func (ix *Index) rankDimensions(p vec.Point, cons []lp.Constraint, mbr vec.Rect)
 			loBox, hiBox := mbr.SplitAt(j, mid)
 			sub := 0.0
 			for _, box := range []vec.Rect{loBox, hiBox} {
-				frag, ok, err := ix.fragmentMBR(p, cons, box)
+				frag, ok, err := ix.fragmentMBR(cc, box)
 				if err != nil {
 					score[j] = -1
 					sub = vol

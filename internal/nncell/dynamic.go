@@ -34,7 +34,8 @@ func (ix *Index) Insert(p vec.Point) (int, error) {
 	ix.alive++
 	ix.dataIdx.Insert(vec.PointRect(p), int64(id))
 
-	frags, err := ix.approximateCell(id)
+	cc := newCellCtx(ix.dim) // reused across the new cell and all affected ones
+	frags, err := ix.approximateCell(cc, id)
 	if err != nil {
 		return 0, fmt.Errorf("nncell: approximating new cell: %w", err)
 	}
@@ -45,7 +46,7 @@ func (ix *Index) Insert(p vec.Point) (int, error) {
 	outer := outerMBR(frags, ix.dim)
 	affected := ix.intersectingCells(outer, id)
 	for _, aid := range affected {
-		if err := ix.recomputeCell(aid); err != nil {
+		if err := ix.recomputeCell(cc, aid); err != nil {
 			return 0, fmt.Errorf("nncell: updating cell %d: %w", aid, err)
 		}
 	}
@@ -78,8 +79,9 @@ func (ix *Index) Delete(id int) error {
 	}
 	outer := outerMBR(old, ix.dim)
 	affected := ix.intersectingCells(outer, id)
+	cc := newCellCtx(ix.dim)
 	for _, aid := range affected {
-		if err := ix.recomputeCell(aid); err != nil {
+		if err := ix.recomputeCell(cc, aid); err != nil {
 			return fmt.Errorf("nncell: updating cell %d: %w", aid, err)
 		}
 	}
@@ -87,8 +89,8 @@ func (ix *Index) Delete(id int) error {
 }
 
 // recomputeCell refreshes one cell's stored approximation.
-func (ix *Index) recomputeCell(id int) error {
-	frags, err := ix.approximateCell(id)
+func (ix *Index) recomputeCell(cc *cellCtx, id int) error {
+	frags, err := ix.approximateCell(cc, id)
 	if err != nil {
 		return err
 	}

@@ -19,6 +19,7 @@
 package nncell
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"math"
@@ -143,6 +144,10 @@ type Stats struct {
 	Queries, Candidates, Fallbacks uint64
 	// Updates counts affected-cell recomputations due to Insert/Delete.
 	Updates uint64
+	// PruneVisited counts the data points retrieved by the Correct
+	// algorithm's pruning range queries — with index-backed retrieval this
+	// stays far below points×rounds, the cost of a linear scan per round.
+	PruneVisited uint64
 }
 
 // Index is a dynamic NN-cell index over a point database.
@@ -164,6 +169,7 @@ type Index struct {
 		fragments                            atomic.Uint64
 		queries, candidates, fallbacks       atomic.Uint64
 		updates                              atomic.Uint64
+		pruneVisited                         atomic.Uint64
 	}
 }
 
@@ -186,7 +192,10 @@ func Build(points []vec.Point, bounds vec.Rect, pg *pager.Pager, opts Options) (
 	if bounds.Dim() != d {
 		return nil, fmt.Errorf("nncell: bounds dim %d, points dim %d", bounds.Dim(), d)
 	}
+	// Duplicate detection keys each point by its raw float64 bit pattern —
+	// byte-exact, and far cheaper than formatting N points through fmt.
 	seen := make(map[string]bool, len(points))
+	keyBuf := make([]byte, 0, 8*d)
 	for i, p := range points {
 		if p.Dim() != d {
 			return nil, fmt.Errorf("nncell: point %d has dim %d, want %d", i, p.Dim(), d)
@@ -194,7 +203,11 @@ func Build(points []vec.Point, bounds vec.Rect, pg *pager.Pager, opts Options) (
 		if !bounds.Contains(p) {
 			return nil, fmt.Errorf("nncell: point %d = %v outside data space %v", i, p, bounds)
 		}
-		k := fmt.Sprintf("%v", p)
+		keyBuf = keyBuf[:0]
+		for _, v := range p {
+			keyBuf = binary.LittleEndian.AppendUint64(keyBuf, math.Float64bits(v))
+		}
+		k := string(keyBuf)
 		if seen[k] {
 			return nil, fmt.Errorf("nncell: duplicate point %v (index %d); deduplicate first", p, i)
 		}
@@ -234,12 +247,13 @@ func Build(points []vec.Point, bounds vec.Rect, pg *pager.Pager, opts Options) (
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			cc := newCellCtx(d) // per-worker solver + scratch, reused across cells
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(points) {
 					return
 				}
-				rects, err := ix.approximateCell(i)
+				rects, err := ix.approximateCell(cc, i)
 				results[i] = result{i, rects, err}
 			}
 		}()
@@ -317,6 +331,7 @@ func (ix *Index) Stats() Stats {
 		Candidates:       ix.stats.candidates.Load(),
 		Fallbacks:        ix.stats.fallbacks.Load(),
 		Updates:          ix.stats.updates.Load(),
+		PruneVisited:     ix.stats.pruneVisited.Load(),
 	}
 }
 

@@ -1,0 +1,144 @@
+package nncell
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/vec"
+)
+
+// TestPointsWithinUsesIndex pins the Correct algorithm's pruning to the data
+// index: a small-radius range retrieval must visit (and count) only the
+// points inside the sphere, not scan the full point set, and must return
+// exactly the brute-force within-radius set.
+func TestPointsWithinUsesIndex(t *testing.T) {
+	const n, d = 500, 4
+	pts := uniquePoints(t, dataset.NameUniform, 21, n, d)
+	ix := mustBuild(t, pts, Options{Algorithm: NNDirection})
+
+	cc := newCellCtx(d)
+	metric := vec.Euclidean{}
+	for _, i := range []int{0, 17, n - 1} {
+		radius := 0.15
+		before := ix.Stats().PruneVisited
+		ids, all := ix.pointsWithin(cc, i, radius)
+		visited := ix.Stats().PruneVisited - before
+
+		if visited >= uint64(n)/2 {
+			t.Fatalf("point %d: pruning visited %d of %d points; expected an index-pruned subset", i, visited, n)
+		}
+		if all {
+			t.Fatalf("point %d: radius %v cannot cover all %d points", i, radius, n)
+		}
+		// Cross-check against the linear scan the retrieval replaced.
+		want := map[int]bool{}
+		for id, q := range pts {
+			if id != i && metric.Dist2(pts[i], q) <= radius*radius {
+				want[id] = true
+			}
+		}
+		if len(ids) != len(want) {
+			t.Fatalf("point %d: got %d ids, brute force found %d", i, len(ids), len(want))
+		}
+		for _, id := range ids {
+			if !want[id] {
+				t.Fatalf("point %d: id %d not within radius", i, id)
+			}
+		}
+	}
+
+	// The all-points signal must still fire when the radius covers the space.
+	ids, all := ix.pointsWithin(cc, 0, math.Sqrt(float64(d))+1)
+	if !all || len(ids) != n-1 {
+		t.Fatalf("full-space radius: got %d ids, all=%v; want %d, true", len(ids), all, n-1)
+	}
+}
+
+// TestCorrectBuildPruneVisited checks end-to-end that a Correct build's
+// pruning retrieval stays well below one linear scan per pruning round.
+func TestCorrectBuildPruneVisited(t *testing.T) {
+	// Low dimension and a larger N keep the pruning spheres small relative
+	// to the point set, so index-backed retrieval is clearly sub-linear.
+	const n, d = 600, 3
+	pts := uniquePoints(t, dataset.NameUniform, 22, n, d)
+	ix := mustBuild(t, pts, Options{Algorithm: Correct})
+	visited := ix.Stats().PruneVisited
+	if visited == 0 {
+		t.Fatal("Correct build recorded no pruning retrievals")
+	}
+	// A linear scan per cell would visit ≥ n·(n−1) points (≥ 1 round each).
+	linear := uint64(n) * uint64(n-1)
+	if visited >= linear/2 {
+		t.Fatalf("Correct build visited %d points while pruning; linear scans would be %d — pruning is not index-backed", visited, linear)
+	}
+}
+
+// TestNearestNeighborAllocs pins the query hot path to a small fixed
+// allocation budget (the candidate closure; no per-query maps or buffers).
+func TestNearestNeighborAllocs(t *testing.T) {
+	const n, d = 400, 6
+	pts := uniquePoints(t, dataset.NameUniform, 23, n, d)
+	// CachePages 0: the pager records every access as a miss without
+	// touching its LRU, so measured allocations are the index's own.
+	ix := mustBuild(t, pts, Options{Algorithm: NNDirection})
+	qs := dataset.Uniform(rand.New(rand.NewSource(24)), 64, d)
+	for _, q := range qs { // warm
+		if _, err := ix.NearestNeighbor(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	k := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := ix.NearestNeighbor(qs[k%len(qs)]); err != nil {
+			t.Fatal(err)
+		}
+		k++
+	})
+	const budget = 8
+	if allocs > budget {
+		t.Fatalf("NearestNeighbor allocates %v/op, want ≤ %d", allocs, budget)
+	}
+}
+
+// TestCandidatesAllocs checks the map-free dedup: Candidates allocates only
+// its result slice and the traversal closure.
+func TestCandidatesAllocs(t *testing.T) {
+	const n, d = 400, 6
+	pts := uniquePoints(t, dataset.NameUniform, 25, n, d)
+	ix := mustBuild(t, pts, Options{Algorithm: Sphere})
+	qs := dataset.Uniform(rand.New(rand.NewSource(26)), 64, d)
+	for _, q := range qs {
+		ix.Candidates(q)
+	}
+	k := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		ix.Candidates(qs[k%len(qs)])
+		k++
+	})
+	const budget = 12 // closure + result-slice growth, no map
+	if allocs > budget {
+		t.Fatalf("Candidates allocates %v/op, want ≤ %d", allocs, budget)
+	}
+}
+
+// TestCandidatesDistinct guards the slice-based dedup against regressions: a
+// decomposed index stores several fragments per cell, and a query point on
+// fragment seams must still report each candidate id once.
+func TestCandidatesDistinct(t *testing.T) {
+	const n, d = 120, 3
+	pts := uniquePoints(t, dataset.NameDiagonal, 27, n, d)
+	ix := mustBuild(t, pts, Options{Algorithm: Correct, Decompose: 8})
+	qs := dataset.Uniform(rand.New(rand.NewSource(28)), 200, d)
+	for _, q := range qs {
+		ids := ix.Candidates(q)
+		seen := map[int]bool{}
+		for _, id := range ids {
+			if seen[id] {
+				t.Fatalf("duplicate candidate id %d for query %v", id, q)
+			}
+			seen[id] = true
+		}
+	}
+}

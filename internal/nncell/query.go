@@ -62,14 +62,21 @@ func (ix *Index) NearestNeighbor(q vec.Point) (Neighbor, error) {
 func (ix *Index) Candidates(q vec.Point) []int {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	seen := make(map[int]bool)
 	var ids []int
 	ix.tree.PointQuery(q, func(e xtree.Entry) bool {
 		id := int(e.Data)
-		if ix.points[id] != nil && !seen[id] {
-			seen[id] = true
-			ids = append(ids, id)
+		if ix.points[id] == nil {
+			return true
 		}
+		// Candidate sets are small (the paper's overlap measure is ~1 for
+		// good approximations), so a linear dedup over the result slice
+		// beats allocating a map per query.
+		for _, have := range ids {
+			if have == id {
+				return true
+			}
+		}
+		ids = append(ids, id)
 		return true
 	})
 	return ids
