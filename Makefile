@@ -1,9 +1,9 @@
 # Development workflow. `make check` is the pre-commit gate; the bench
-# targets track the construction hot path (see DESIGN.md §"Construction
-# hot path").
+# targets track the construction and query hot paths (see DESIGN.md
+# §"Construction hot path" and §"Query engine").
 GO ?= go
 
-.PHONY: check vet build test race bench-smoke bench-build bench
+.PHONY: check vet build test race bench-smoke bench-build bench-query bench
 
 check: vet build test race bench-smoke
 
@@ -17,14 +17,18 @@ test:
 	$(GO) test ./...
 
 # The LP solver and the NN-cell builder are the concurrency-sensitive
-# packages (per-worker solver state, parallel build, query/update locking).
+# packages (per-worker solver state, parallel build, query/update locking,
+# pooled query contexts shared by NearestNeighborBatch workers).
 race:
 	$(GO) test -race ./internal/nncell/ ./internal/lp/
 
-# One iteration of the hot-path benchmarks: proves the 0 allocs/op contract
-# of the warm LP loop and that construction still runs end to end.
+# One iteration of the hot-path benchmarks: proves the 0 allocs/op contracts
+# of the warm LP loop and the warm query engine, and that construction and
+# the query-bench tool still run end to end.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkSolveMBR|BenchmarkBuild/NN-Direction' -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'BenchmarkQueryNearest$$/NN-Direction/d=8' -benchtime 1x ./internal/nncell/
+	$(GO) run ./cmd/experiments -bench-query /tmp/BENCH_query_smoke.json -bench-n 60 -bench-dims 4
 
 # Full benchmark suite (figures + ablations + construction).
 bench:
@@ -34,3 +38,8 @@ bench:
 # tracked across PRs.
 bench-build:
 	$(GO) run ./cmd/experiments -bench-build BENCH_build.json
+
+# Regenerate the machine-readable query-performance record (QPS, speedup of
+# the QueryCtx engine over the seed path, work counters) tracked across PRs.
+bench-query:
+	$(GO) run ./cmd/experiments -bench-query BENCH_query.json

@@ -9,6 +9,7 @@
 //	experiments -fig fig7,fig8 -n 10000 -queries 500
 //	experiments -fig fig13 -small-n 800 -decompose 10 -csv
 //	experiments -bench-build BENCH_build.json
+//	experiments -bench-query BENCH_query.json
 package main
 
 import (
@@ -35,8 +36,9 @@ func main() {
 		csv       = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 
 		benchBuild = flag.String("bench-build", "", "measure Build for all four algorithms and write the JSON report to this path (skips figures)")
-		benchN     = flag.Int("bench-n", 0, "database size for -bench-build (default 250)")
-		benchDims  = flag.String("bench-dims", "", "comma-separated dimensions for -bench-build (default 4,8,16)")
+		benchQuery = flag.String("bench-query", "", "measure NearestNeighbor (QueryCtx engine vs seed path) for all four algorithms and write the JSON report to this path (skips figures)")
+		benchN     = flag.Int("bench-n", 0, "database size for -bench-build/-bench-query (default 250)")
+		benchDims  = flag.String("bench-dims", "", "comma-separated dimensions for -bench-build (default 4,8,16) and -bench-query (default 2,4,8,16)")
 	)
 	flag.Parse()
 
@@ -57,6 +59,26 @@ func main() {
 				r.Algorithm, r.Dim, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp)
 		}
 		fmt.Printf("wrote %s\n", *benchBuild)
+		return
+	}
+
+	if *benchQuery != "" {
+		dims, err := parseInts(*benchDims)
+		if err != nil {
+			fatalf("bad -bench-dims: %v", err)
+		}
+		rep, err := experiments.BenchQuery(*benchN, dims)
+		if err != nil {
+			fatalf("bench-query: %v", err)
+		}
+		if err := rep.WriteJSON(*benchQuery); err != nil {
+			fatalf("bench-query: %v", err)
+		}
+		for _, r := range rep.Results {
+			fmt.Printf("%-13s d=%-3d %9.0f ns/op %11.0f qps %6.2fx vs legacy %7.1f cand/q %6.1f pages/q %2d allocs/op\n",
+				r.Algorithm, r.Dim, r.NsPerOp, r.QPS, r.SpeedupVsLegacy, r.CandidatesPerQuery, r.NodeAccessesPerQuery, r.AllocsPerOp)
+		}
+		fmt.Printf("wrote %s\n", *benchQuery)
 		return
 	}
 

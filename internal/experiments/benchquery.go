@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"encoding/json"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/nncell"
+	"repro/internal/pager"
+	"repro/internal/vec"
+)
+
+// QueryBenchResult is one measured NN-query configuration of the query
+// benchmark (BENCH_query.json): latency and allocation profile of the
+// QueryCtx engine next to the seed recursive path, plus the work counters
+// that explain them (candidates inspected and index pages touched per query).
+type QueryBenchResult struct {
+	Algorithm string `json:"algorithm"`
+	Dim       int    `json:"dim"`
+	N         int    `json:"n"`
+
+	// Engine measurements (the pooled-QueryCtx flat-layout traversal).
+	NsPerOp     float64 `json:"ns_per_op"`
+	QPS         float64 `json:"qps"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+
+	// Seed recursive path on the identical index and query stream.
+	LegacyNsPerOp float64 `json:"legacy_ns_per_op"`
+	LegacyQPS     float64 `json:"legacy_qps"`
+
+	// SpeedupVsLegacy = LegacyNsPerOp / NsPerOp.
+	SpeedupVsLegacy float64 `json:"speedup_vs_legacy"`
+
+	// Per-query work, averaged over one instrumented pass (identical for
+	// both engines by construction; the equivalence tests enforce it).
+	CandidatesPerQuery   float64 `json:"candidates_per_query"`
+	NodeAccessesPerQuery float64 `json:"node_accesses_per_query"`
+	Fallbacks            uint64  `json:"fallbacks"`
+}
+
+// QueryBenchReport is the machine-readable query-performance record emitted
+// by `cmd/experiments -bench-query` so the QPS trajectory is tracked across
+// PRs, parallel to BENCH_build.json for construction.
+type QueryBenchReport struct {
+	N       int                `json:"n"`
+	Dims    []int              `json:"dims"`
+	Queries int                `json:"queries"`
+	Go      string             `json:"go"`
+	Results []QueryBenchResult `json:"results"`
+}
+
+// BenchQuery measures NearestNeighbor for every constraint-selection
+// algorithm at each dimension via testing.Benchmark, on both the QueryCtx
+// engine and the retained seed path, over a shared in-space query stream.
+func BenchQuery(n int, dims []int) (*QueryBenchReport, error) {
+	if n <= 0 {
+		n = 250
+	}
+	if len(dims) == 0 {
+		dims = []int{2, 4, 8, 16}
+	}
+	const numQueries = 128
+	rep := &QueryBenchReport{N: n, Dims: dims, Queries: numQueries, Go: runtime.Version()}
+	for _, alg := range nncell.Algorithms() {
+		for _, d := range dims {
+			rng := rand.New(rand.NewSource(int64(100*d + int(alg))))
+			pts := dataset.Deduplicate(dataset.Uniform(rng, n, d))
+			pg := pager.New(pager.Config{CachePages: 64})
+			ix, err := nncell.Build(pts, vec.UnitCube(d), pg, nncell.Options{Algorithm: alg})
+			if err != nil {
+				return nil, err
+			}
+			qrng := rand.New(rand.NewSource(int64(99)))
+			qs := make([]vec.Point, numQueries)
+			for i := range qs {
+				q := make(vec.Point, d)
+				for j := range q {
+					q[j] = qrng.Float64()
+				}
+				qs[i] = q
+			}
+
+			// One instrumented pass measures the per-query work counters.
+			statsBefore := ix.Stats()
+			pagesBefore := pg.Stats().Accesses
+			for _, q := range qs {
+				if _, err := ix.NearestNeighbor(q); err != nil {
+					return nil, err
+				}
+			}
+			statsAfter := ix.Stats()
+			pagesAfter := pg.Stats().Accesses
+
+			var benchErr error
+			measure := func(query func(vec.Point) (nncell.Neighbor, error)) testing.BenchmarkResult {
+				return testing.Benchmark(func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						if _, err := query(qs[i%len(qs)]); err != nil {
+							benchErr = err
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+			ctx := measure(ix.NearestNeighbor)
+			legacy := measure(ix.NearestNeighborLegacy)
+			if benchErr != nil {
+				return nil, benchErr
+			}
+
+			ctxNs := float64(ctx.NsPerOp())
+			legNs := float64(legacy.NsPerOp())
+			rep.Results = append(rep.Results, QueryBenchResult{
+				Algorithm:            alg.String(),
+				Dim:                  d,
+				N:                    n,
+				NsPerOp:              ctxNs,
+				QPS:                  1e9 / ctxNs,
+				AllocsPerOp:          ctx.AllocsPerOp(),
+				BytesPerOp:           ctx.AllocedBytesPerOp(),
+				LegacyNsPerOp:        legNs,
+				LegacyQPS:            1e9 / legNs,
+				SpeedupVsLegacy:      legNs / ctxNs,
+				CandidatesPerQuery:   float64(statsAfter.Candidates-statsBefore.Candidates) / numQueries,
+				NodeAccessesPerQuery: float64(pagesAfter-pagesBefore) / numQueries,
+				Fallbacks:            statsAfter.Fallbacks - statsBefore.Fallbacks,
+			})
+		}
+	}
+	return rep, nil
+}
+
+// WriteJSON writes the report to path, indented for diff-friendly tracking.
+func (r *QueryBenchReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -30,6 +30,7 @@ func (ix *Index) Insert(p vec.Point) (int, error) {
 	}
 	id := len(ix.points)
 	ix.points = append(ix.points, p.Clone())
+	ix.ptsFlat = append(ix.ptsFlat, p...)
 	ix.cells = append(ix.cells, nil)
 	ix.alive++
 	ix.dataIdx.Insert(vec.PointRect(p), int64(id))

@@ -157,8 +157,13 @@ type Index struct {
 	pg     *pager.Pager
 	bounds vec.Rect
 
+	// ctxPool recycles QueryCtx scratch across queries (see acquireCtx); the
+	// zero value is ready, so Build and the persistence loader need no setup.
+	ctxPool sync.Pool
+
 	mu      sync.RWMutex
 	points  []vec.Point // nil entries are tombstones
+	ptsFlat []float64   // SoA mirror: point id's coords at [id*dim:(id+1)*dim]; stale for tombstones
 	alive   int
 	cells   [][]vec.Rect // fragment MBRs per point id (nil for tombstones)
 	tree    *xtree.Tree  // fragment MBRs, Data = point id
@@ -223,8 +228,10 @@ func Build(points []vec.Point, bounds vec.Rect, pg *pager.Pager, opts Options) (
 		cells:  make([][]vec.Rect, len(points)),
 		alive:  len(points),
 	}
+	ix.ptsFlat = make([]float64, 0, len(points)*d)
 	for i, p := range points {
 		ix.points[i] = p.Clone()
+		ix.ptsFlat = append(ix.ptsFlat, p...)
 	}
 
 	// Phase 1: data index for constraint selection (STR bulk load).

@@ -142,6 +142,7 @@ func Load(r io.Reader, pg *pager.Pager) (*Index, error) {
 		pg:      pg,
 		bounds:  bounds,
 		points:  make([]vec.Point, count),
+		ptsFlat: make([]float64, int(count)*d),
 		cells:   make([][]vec.Rect, count),
 		tree:    xtree.New(d, pg, opts.XTree),
 		dataIdx: xtree.New(d, pg, opts.XTree),
@@ -181,6 +182,7 @@ func Load(r io.Reader, pg *pager.Pager) (*Index, error) {
 			frags[f] = r
 		}
 		ix.points[id] = p
+		copy(ix.ptsFlat[int(id)*d:], p)
 		ix.cells[id] = frags
 		ix.alive++
 		ix.dataIdx.Insert(vec.PointRect(p), int64(id))

@@ -1,6 +1,7 @@
 package nncell
 
 import (
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -15,13 +16,129 @@ type Neighbor struct {
 	Dist2 float64
 }
 
+// QueryCtx is the reusable per-query scratch of the read path: the iterative
+// traversal state and inline heaps for both backing X-trees, the k-NN result
+// buffer, and the clamp buffer of the out-of-bounds fallback. A warm context
+// makes NearestNeighbor, CandidatesAppend and the fallback path allocation-
+// free. Contexts are pooled per index (acquireCtx/releaseCtx) for the public
+// entry points and held per worker by NearestNeighborBatch. A QueryCtx is
+// not safe for concurrent use.
+type QueryCtx struct {
+	tc    xtree.QueryCtx   // cell-tree traversal scratch
+	dc    xtree.QueryCtx   // data-tree traversal scratch (k-NN, fallback)
+	ids   []int64          // cell point-query candidate buffer
+	nbrs  []xtree.Neighbor // data-tree result buffer
+	clamp vec.Point        // clamp-to-bounds buffer of the fallback
+}
+
+// acquireCtx takes a context from the index's pool (allocating only when the
+// pool is empty, i.e. on cold paths).
+func (ix *Index) acquireCtx() *QueryCtx {
+	if qc, ok := ix.ctxPool.Get().(*QueryCtx); ok {
+		return qc
+	}
+	return &QueryCtx{}
+}
+
+// releaseCtx returns a context to the pool for reuse.
+func (ix *Index) releaseCtx(qc *QueryCtx) { ix.ctxPool.Put(qc) }
+
 // NearestNeighbor answers an exact nearest-neighbor query: a point query on
 // the cell index retrieves every approximation containing q, and the true
 // nearest neighbor is the closest of those candidate points (Lemma 2: no
 // false dismissals). Queries outside the data space — where NN-cells do not
-// tile — fall back to an exact sequential scan, as does the (numerically
-// pathological, counted) case of an empty candidate set.
+// tile — and the (numerically pathological, counted) empty-candidate case
+// take the clamp-and-verify fallback, which stays exact and sub-linear.
+//
+// The traversal runs on a pooled QueryCtx; the warm path performs no
+// allocations.
 func (ix *Index) NearestNeighbor(q vec.Point) (Neighbor, error) {
+	qc := ix.acquireCtx()
+	defer ix.releaseCtx(qc)
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.nearestLocked(qc, q)
+}
+
+// nearestLocked is the shared NN core; callers hold ix.mu (read side) and
+// provide the scratch context.
+func (ix *Index) nearestLocked(qc *QueryCtx, q vec.Point) (Neighbor, error) {
+	if ix.alive == 0 {
+		return Neighbor{}, ErrEmpty
+	}
+	ix.stats.queries.Add(1)
+	if !ix.bounds.Contains(q) {
+		ix.stats.fallbacks.Add(1)
+		return ix.fallbackNearest(qc, q), nil
+	}
+	// The fused tree call folds the candidate-distance minimum into the point
+	// query itself, reading coordinates from the SoA mirror. Dead ids never
+	// appear among the matches: Delete removes every fragment of a cell from
+	// the tree before tombstoning the point (removeFragments), so the mirror's
+	// stale tombstone rows are unreachable here.
+	data, d2, seen, ok := ix.tree.NearestCandidate(&qc.tc, q, ix.ptsFlat)
+	ix.stats.candidates.Add(uint64(seen))
+	if !ok {
+		ix.stats.fallbacks.Add(1)
+		return ix.fallbackNearest(qc, q), nil
+	}
+	return Neighbor{ID: int(data), Dist2: d2}, nil
+}
+
+// fallbackNearest answers queries the cell point query cannot: points outside
+// the data space (NN-cells only tile the space) and in-space points that fall
+// into an epsilon gap between stored approximations. It replaces the seed's
+// O(n) sequential scan with two index operations:
+//
+//  1. Clamp q into the data space and run the cell point query there. The
+//     clamped point is tiled by NN-cells, so this almost always yields a
+//     candidate, whose distance (measured from the original q) is an upper
+//     bound on the NN distance.
+//  2. Run the best-first search of [HS 95] on the data X-tree, pruned by
+//     that bound. The search is exact, so the result is the true nearest
+//     neighbor; the seed bound typically reduces it to a single root-to-leaf
+//     verification descent.
+func (ix *Index) fallbackNearest(qc *QueryCtx, q vec.Point) Neighbor {
+	if cap(qc.clamp) < len(q) {
+		qc.clamp = make(vec.Point, len(q))
+	}
+	qc.clamp = qc.clamp[:len(q)]
+	copy(qc.clamp, q)
+	ix.bounds.ClampInPlace(qc.clamp)
+
+	best := Neighbor{ID: -1, Dist2: math.Inf(1)}
+	d := ix.dim
+	qc.ids = ix.tree.PointQueryData(&qc.tc, qc.clamp, qc.ids[:0])
+	for _, id64 := range qc.ids {
+		id := int(id64)
+		if ix.points[id] == nil {
+			continue
+		}
+		// Distance from the original query point, via the SoA mirror.
+		d2 := vec.Dist2Flat(q, ix.ptsFlat[id*d:(id+1)*d])
+		if d2 < best.Dist2 || (d2 == best.Dist2 && id < best.ID) {
+			best = Neighbor{ID: id, Dist2: d2}
+		}
+	}
+	// Exact verification: the bound is inclusive, so the seed candidate (a
+	// live point in the data index) is rediscovered even if nothing beats it,
+	// and an empty seed (Dist2 = +Inf) degenerates to an unbounded search.
+	qc.nbrs = ix.dataIdx.KNearestCtx(&qc.dc, q, 1, best.Dist2, qc.nbrs[:0])
+	if len(qc.nbrs) > 0 {
+		id := int(qc.nbrs[0].Entry.Data)
+		if d2 := qc.nbrs[0].Dist2; d2 < best.Dist2 || (d2 == best.Dist2 && (best.ID < 0 || id < best.ID)) {
+			best = Neighbor{ID: id, Dist2: d2}
+		}
+	}
+	return best
+}
+
+// NearestNeighborLegacy is the seed (pre-query-engine) recursive
+// closure-based query path, retained verbatim as the reference
+// implementation: equivalence tests assert the QueryCtx engine returns
+// identical results, and the bench-query record (BENCH_query.json) reports
+// the engine's speedup over this path. It shares the index's stats counters.
+func (ix *Index) NearestNeighborLegacy(q vec.Point) (Neighbor, error) {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	if ix.alive == 0 {
@@ -59,27 +176,43 @@ func (ix *Index) NearestNeighbor(q vec.Point) (Neighbor, error) {
 // Candidates returns the distinct point ids whose stored approximation
 // contains q — the paper's overlap measure in query form (1 distinct
 // candidate = the perfect multidimensional-uniform case).
-func (ix *Index) Candidates(q vec.Point) []int {
+func (ix *Index) Candidates(q vec.Point) []int { return ix.CandidatesAppend(nil, q) }
+
+// CandidatesAppend appends the distinct candidate ids for q to dst and
+// returns it. Passing a reused slice makes the warm path allocation-free.
+// Like every query entry point it counts one query and the inspected
+// candidates in the index stats.
+func (ix *Index) CandidatesAppend(dst []int, q vec.Point) []int {
+	qc := ix.acquireCtx()
+	defer ix.releaseCtx(qc)
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	var ids []int
-	ix.tree.PointQuery(q, func(e xtree.Entry) bool {
-		id := int(e.Data)
+	ix.stats.queries.Add(1)
+	start := len(dst)
+	seen := 0
+	qc.ids = ix.tree.PointQueryData(&qc.tc, q, qc.ids[:0])
+	for _, id64 := range qc.ids {
+		id := int(id64)
 		if ix.points[id] == nil {
-			return true
+			continue
 		}
+		seen++
 		// Candidate sets are small (the paper's overlap measure is ~1 for
 		// good approximations), so a linear dedup over the result slice
 		// beats allocating a map per query.
-		for _, have := range ids {
+		dup := false
+		for _, have := range dst[start:] {
 			if have == id {
-				return true
+				dup = true
+				break
 			}
 		}
-		ids = append(ids, id)
-		return true
-	})
-	return ids
+		if !dup {
+			dst = append(dst, id)
+		}
+	}
+	ix.stats.candidates.Add(uint64(seen))
+	return dst
 }
 
 // KNearest answers an exact k-nearest-neighbor query. k-NN via order-k cells
@@ -87,26 +220,32 @@ func (ix *Index) Candidates(q vec.Point) []int {
 // through the cell index and larger k through the embedded data X-tree
 // (exact best-first search), so the index is usable as a drop-in k-NN
 // structure either way.
+//
+// k <= 0 returns an empty result without touching the index or its stats;
+// every other path holds the read lock once and counts exactly one query.
 func (ix *Index) KNearest(q vec.Point, k int) ([]Neighbor, error) {
 	if k <= 0 {
 		return nil, nil
 	}
+	qc := ix.acquireCtx()
+	defer ix.releaseCtx(qc)
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	if k == 1 {
-		nb, err := ix.NearestNeighbor(q)
+		nb, err := ix.nearestLocked(qc, q)
 		if err != nil {
 			return nil, err
 		}
 		return []Neighbor{nb}, nil
 	}
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
 	if ix.alive == 0 {
 		return nil, ErrEmpty
 	}
 	ix.stats.queries.Add(1)
-	raw := ix.dataIdx.KNearest(q, k+len(ix.points)-ix.alive) // tombstone slack
+	slack := k + len(ix.points) - ix.alive // tombstone slack
+	qc.nbrs = ix.dataIdx.KNearestCtx(&qc.dc, q, slack, math.Inf(1), qc.nbrs[:0])
 	out := make([]Neighbor, 0, k)
-	for _, nb := range raw {
+	for _, nb := range qc.nbrs {
 		id := int(nb.Entry.Data)
 		if ix.points[id] == nil {
 			continue
@@ -123,7 +262,9 @@ func (ix *Index) KNearest(q vec.Point, k int) ([]Neighbor, error) {
 // parallelism (0 = GOMAXPROCS). Results are positionally aligned with the
 // queries. Exploiting parallelism for similarity search is the approach of
 // the authors' companion paper [Ber+ 97]; the NN-cell index supports it
-// directly because queries only take the read side of the index lock.
+// directly because queries only take the read side of the index lock. Each
+// worker owns one QueryCtx for its whole run, so the steady state allocates
+// nothing regardless of batch size.
 func (ix *Index) NearestNeighborBatch(qs []vec.Point, workers int) ([]Neighbor, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -139,12 +280,16 @@ func (ix *Index) NearestNeighborBatch(qs []vec.Point, workers int) ([]Neighbor, 
 		wg.Add(1)
 		go func(slot int) {
 			defer wg.Done()
+			qc := ix.acquireCtx()
+			defer ix.releaseCtx(qc)
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(qs) {
 					return
 				}
-				nb, err := ix.NearestNeighbor(qs[i])
+				ix.mu.RLock()
+				nb, err := ix.nearestLocked(qc, qs[i])
+				ix.mu.RUnlock()
 				if err != nil {
 					errs[slot] = err
 					return
@@ -162,7 +307,8 @@ func (ix *Index) NearestNeighborBatch(qs []vec.Point, workers int) ([]Neighbor, 
 	return out, nil
 }
 
-// scanNearest is the exact fallback path.
+// scanNearest is the exact O(n) sequential scan, retained as the correctness
+// oracle for the fallback path (tests) and used by NearestNeighborLegacy.
 func (ix *Index) scanNearest(q vec.Point) Neighbor {
 	metric := vec.Euclidean{}
 	best := Neighbor{ID: -1}

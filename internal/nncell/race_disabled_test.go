@@ -1,0 +1,5 @@
+//go:build !race
+
+package nncell
+
+const raceEnabled = false

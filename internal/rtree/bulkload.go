@@ -49,7 +49,7 @@ func (t *Tree) packLevel(entries []entry, level int) []*node {
 	for i, g := range groups {
 		n := t.newNode(level)
 		n.entries = g
-		t.pg.Write(n.page)
+		t.writeNode(n)
 		nodes[i] = n
 	}
 	return nodes

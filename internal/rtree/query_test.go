@@ -1,0 +1,289 @@
+package rtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/vec"
+)
+
+// randRects returns n random axis-parallel boxes in [0,1]^d with edge lengths
+// up to maxEdge, the rectangle analogue of randPoints.
+func randRects(rng *rand.Rand, n, d int, maxEdge float64) []vec.Rect {
+	rects := make([]vec.Rect, n)
+	for i := range rects {
+		lo := make(vec.Point, d)
+		hi := make(vec.Point, d)
+		for j := 0; j < d; j++ {
+			lo[j] = rng.Float64()
+			hi[j] = math.Min(1, lo[j]+rng.Float64()*maxEdge)
+		}
+		rects[i] = vec.Rect{Lo: lo, Hi: hi}
+	}
+	return rects
+}
+
+func buildRectTree(t testing.TB, rects []vec.Rect, opts Options) *Tree {
+	t.Helper()
+	tr := New(rects[0].Dim(), newTestPager(), opts)
+	for i, r := range rects {
+		tr.Insert(r, int64(i))
+	}
+	return tr
+}
+
+func collectPoint(tr *Tree, p vec.Point) []Entry {
+	var out []Entry
+	tr.PointQuery(p, func(e Entry) bool { out = append(out, e); return true })
+	return out
+}
+
+func collectRange(tr *Tree, r vec.Rect) []Entry {
+	var out []Entry
+	tr.Search(r, func(e Entry) bool { out = append(out, e); return true })
+	return out
+}
+
+func entriesEqual(t *testing.T, label string, want, got []Entry) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d entries, recursive found %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if want[i].Data != got[i].Data || !want[i].Rect.Equal(got[i].Rect) {
+			t.Fatalf("%s: entry %d: recursive %v/%d, iterative %v/%d",
+				label, i, want[i].Rect, want[i].Data, got[i].Rect, got[i].Data)
+		}
+	}
+}
+
+// The iterative point traversal must reproduce the recursive PointQuery
+// exactly: same entries in the same visit order, and the same page-access
+// accounting against the pager.
+func TestQueryCtxPointMatchesRecursive(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for _, d := range []int{2, 3, 8} {
+		rects := randRects(rng, 500, d, 0.4)
+		tr := buildRectTree(t, rects, Options{})
+		var qc QueryCtx
+		var ids []int64
+		for qi := 0; qi < 100; qi++ {
+			q := randPoints(rng, 1, d)[0]
+
+			tr.pg.ResetStats()
+			want := collectPoint(tr, q)
+			recAcc := tr.pg.Stats().Accesses
+
+			tr.pg.ResetStats()
+			var got []Entry
+			tr.BeginPoint(&qc, q)
+			for {
+				e, ok := qc.Next()
+				if !ok {
+					break
+				}
+				got = append(got, e)
+			}
+			iterAcc := tr.pg.Stats().Accesses
+			entriesEqual(t, "point", want, got)
+			if recAcc != iterAcc {
+				t.Fatalf("d=%d q=%d: recursive touched %d pages, iterative %d", d, qi, recAcc, iterAcc)
+			}
+
+			tr.pg.ResetStats()
+			ids = tr.PointQueryData(&qc, q, ids[:0])
+			batchAcc := tr.pg.Stats().Accesses
+			if len(ids) != len(want) {
+				t.Fatalf("d=%d q=%d: PointQueryData found %d, recursive %d", d, qi, len(ids), len(want))
+			}
+			for i := range want {
+				if ids[i] != want[i].Data {
+					t.Fatalf("d=%d q=%d: PointQueryData[%d]=%d, recursive %d", d, qi, i, ids[i], want[i].Data)
+				}
+			}
+			if batchAcc != recAcc {
+				t.Fatalf("d=%d q=%d: batched path touched %d pages, recursive %d", d, qi, batchAcc, recAcc)
+			}
+		}
+	}
+}
+
+// Same contract for window queries: BeginRange/Next equals recursive Search.
+func TestQueryCtxRangeMatchesRecursive(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for _, d := range []int{2, 3, 8} {
+		rects := randRects(rng, 500, d, 0.3)
+		tr := buildRectTree(t, rects, Options{})
+		var qc QueryCtx
+		for qi := 0; qi < 100; qi++ {
+			w := randRects(rng, 1, d, 0.5)[0]
+
+			tr.pg.ResetStats()
+			want := collectRange(tr, w)
+			recAcc := tr.pg.Stats().Accesses
+
+			tr.pg.ResetStats()
+			var got []Entry
+			tr.BeginRange(&qc, w)
+			for {
+				e, ok := qc.Next()
+				if !ok {
+					break
+				}
+				got = append(got, e)
+			}
+			entriesEqual(t, "range", want, got)
+			if iterAcc := tr.pg.Stats().Accesses; recAcc != iterAcc {
+				t.Fatalf("d=%d q=%d: recursive touched %d pages, iterative %d", d, qi, recAcc, iterAcc)
+			}
+		}
+	}
+}
+
+// NearestCandidate must agree with resolving the recursive point query by
+// hand: fewest squared distance over all matches, ties to the smaller payload.
+func TestNearestCandidateMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	for _, d := range []int{2, 8} {
+		rects := randRects(rng, 600, d, 0.5)
+		tr := buildRectTree(t, rects, Options{})
+		// Payload i resolves to the center of rectangle i via the SoA mirror.
+		coords := make([]float64, 600*d)
+		for i, r := range rects {
+			copy(coords[i*d:], r.Center())
+		}
+		var qc QueryCtx
+		for qi := 0; qi < 200; qi++ {
+			q := randPoints(rng, 1, d)[0]
+			want := int64(-1)
+			wantD2 := math.Inf(1)
+			matches := collectPoint(tr, q)
+			for _, e := range matches {
+				i := int(e.Data)
+				d2 := vec.Dist2Flat(q, coords[i*d:(i+1)*d])
+				if want < 0 || d2 < wantD2 || (d2 == wantD2 && e.Data < want) {
+					want, wantD2 = e.Data, d2
+				}
+			}
+			data, d2, count, ok := tr.NearestCandidate(&qc, q, coords)
+			if ok != (want >= 0) || count != len(matches) {
+				t.Fatalf("d=%d q=%d: ok=%v count=%d, want ok=%v count=%d", d, qi, ok, count, want >= 0, len(matches))
+			}
+			if ok && (data != want || d2 != wantD2) {
+				t.Fatalf("d=%d q=%d: got %d@%g, want %d@%g", d, qi, data, d2, want, wantD2)
+			}
+		}
+	}
+}
+
+// KNearestCtx with an infinite bound performs the same heap operations as the
+// recursive KNearest, so results must be identical including order.
+func TestKNearestCtxMatchesRecursive(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	for _, d := range []int{2, 8} {
+		pts := randPoints(rng, 600, d)
+		tr := buildPointTree(t, pts, Options{})
+		var qc QueryCtx
+		var out []Neighbor
+		for _, k := range []int{1, 5, 32} {
+			for qi := 0; qi < 50; qi++ {
+				q := randPoints(rng, 1, d)[0]
+				want := tr.KNearest(q, k)
+				out = tr.KNearestCtx(&qc, q, k, math.Inf(1), out[:0])
+				if len(want) != len(out) {
+					t.Fatalf("d=%d k=%d: ctx returned %d, recursive %d", d, k, len(out), len(want))
+				}
+				for i := range want {
+					if want[i].Entry.Data != out[i].Entry.Data || want[i].Dist2 != out[i].Dist2 {
+						t.Fatalf("d=%d k=%d q=%d: result %d: ctx %d@%g, recursive %d@%g",
+							d, k, qi, i, out[i].Entry.Data, out[i].Dist2, want[i].Entry.Data, want[i].Dist2)
+					}
+				}
+			}
+		}
+	}
+}
+
+// The pruning bound is inclusive: a bounded search returns exactly the
+// unbounded results with Dist2 <= bound (capped at k).
+func TestKNearestCtxBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(89))
+	pts := randPoints(rng, 500, 6)
+	tr := buildPointTree(t, pts, Options{})
+	var qc QueryCtx
+	for qi := 0; qi < 50; qi++ {
+		q := randPoints(rng, 1, 6)[0]
+		full := tr.KNearest(q, 10)
+		for _, cut := range []int{0, 3, 9} {
+			bound := full[cut].Dist2
+			got := tr.KNearestCtx(&qc, q, 10, bound, nil)
+			var want []Neighbor
+			for _, nb := range full {
+				if nb.Dist2 <= bound {
+					want = append(want, nb)
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("q=%d bound=%g: got %d results, want %d", qi, bound, len(got), len(want))
+			}
+			for i := range want {
+				if got[i].Entry.Data != want[i].Entry.Data || got[i].Dist2 != want[i].Dist2 {
+					t.Fatalf("q=%d bound=%g: result %d differs", qi, bound, i)
+				}
+			}
+		}
+	}
+}
+
+// A warm QueryCtx answers every query form without allocating.
+func TestQueryCtxZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	rng := rand.New(rand.NewSource(97))
+	const n, d = 600, 8
+	pts := randPoints(rng, n, d)
+	tr := buildPointTree(t, pts, Options{})
+	coords := make([]float64, n*d)
+	for i, p := range pts {
+		copy(coords[i*d:], p)
+	}
+	qs := randPoints(rng, 64, d)
+	w := randRects(rng, 1, d, 0.5)[0]
+
+	var qc QueryCtx
+	ids := make([]int64, 0, n)
+	nbrs := make([]Neighbor, 0, 16)
+	warm := func() {
+		for _, q := range qs {
+			ids = tr.PointQueryData(&qc, q, ids[:0])
+			tr.NearestCandidate(&qc, q, coords)
+			nbrs = tr.KNearestCtx(&qc, q, 10, math.Inf(1), nbrs[:0])
+			tr.BeginRange(&qc, w)
+			for {
+				if _, ok := qc.NextData(); !ok {
+					break
+				}
+			}
+		}
+	}
+	warm()
+	k := 0
+	allocs := testing.AllocsPerRun(100, func() {
+		q := qs[k%len(qs)]
+		k++
+		ids = tr.PointQueryData(&qc, q, ids[:0])
+		tr.NearestCandidate(&qc, q, coords)
+		nbrs = tr.KNearestCtx(&qc, q, 10, math.Inf(1), nbrs[:0])
+		tr.BeginPoint(&qc, q)
+		for {
+			if _, ok := qc.NextData(); !ok {
+				break
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm query engine allocates %v/op, want 0", allocs)
+	}
+}

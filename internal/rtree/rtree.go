@@ -64,6 +64,43 @@ type node struct {
 	page    pager.PageID
 	level   int // 0 = leaf
 	entries []entry
+
+	// flatLo/flatHi mirror the leaf entry rectangles in a flat dimension-major
+	// SoA layout (dimension j of entry i at [j*len(entries)+i]), maintained by
+	// writeNode; see the X-tree twin and DESIGN.md §8.
+	flatLo, flatHi []float64
+}
+
+// syncFlat rebuilds the SoA coordinate mirror of a leaf node. The layout is
+// dimension-major: with m entries, dimension j of entry i lives at index
+// j*m+i, so a query predicate tests dimension 0 of every entry in one
+// contiguous pass and later dimensions only for the entries still alive
+// (dimension-first pruning).
+func (n *node) syncFlat(d int) {
+	m := len(n.entries)
+	want := m * d
+	if cap(n.flatLo) < want {
+		n.flatLo = make([]float64, 0, 2*want)
+		n.flatHi = make([]float64, 0, 2*want)
+	}
+	n.flatLo = n.flatLo[:want]
+	n.flatHi = n.flatHi[:want]
+	for i := range n.entries {
+		lo, hi := n.entries[i].rect.Lo, n.entries[i].rect.Hi
+		for j := 0; j < d; j++ {
+			n.flatLo[j*m+i] = lo[j]
+			n.flatHi[j*m+i] = hi[j]
+		}
+	}
+}
+
+// writeNode records a node mutation's page write; every path that changes an
+// entry set ends here, which keeps the leaf SoA mirror in sync.
+func (t *Tree) writeNode(n *node) {
+	if n.level == 0 {
+		n.syncFlat(t.dim)
+	}
+	t.pg.Write(n.page)
 }
 
 func (n *node) mbr(dim int) vec.Rect {
@@ -176,7 +213,7 @@ func (t *Tree) insertEntry(e entry, level int, reinserted map[int]bool) {
 			t.root.entries = append(t.root.entries,
 				entry{rect: oldRoot.mbr(t.dim), child: oldRoot},
 				*split)
-			t.pg.Write(t.root.page)
+			t.writeNode(t.root)
 			t.height++
 		}
 	}
@@ -188,7 +225,7 @@ func (t *Tree) insertAt(n *node, e entry, level int, reinserted map[int]bool, qu
 	t.pg.Access(n.page)
 	if n.level == level {
 		n.entries = append(n.entries, e)
-		t.pg.Write(n.page)
+		t.writeNode(n)
 		if len(n.entries) > t.maxEntries {
 			return t.overflow(n, reinserted, queue)
 		}
@@ -200,7 +237,7 @@ func (t *Tree) insertAt(n *node, e entry, level int, reinserted map[int]bool, qu
 	if split != nil {
 		n.entries = append(n.entries, *split)
 	}
-	t.pg.Write(n.page)
+	t.writeNode(n)
 	if len(n.entries) > t.maxEntries {
 		return t.overflow(n, reinserted, queue)
 	}
@@ -311,7 +348,7 @@ func (t *Tree) reinsert(n *node, queue *[]pendingInsert) {
 		}
 	}
 	n.entries = kept
-	t.pg.Write(n.page)
+	t.writeNode(n)
 	for _, e := range removed {
 		*queue = append(*queue, pendingInsert{e, n.level})
 	}
@@ -322,10 +359,10 @@ func (t *Tree) reinsert(n *node, queue *[]pendingInsert) {
 func (t *Tree) split(n *node) *entry {
 	group1, group2 := t.chooseSplit(n.entries)
 	n.entries = group1
-	t.pg.Write(n.page)
+	t.writeNode(n)
 	sib := t.newNode(n.level)
 	sib.entries = group2
-	t.pg.Write(sib.page)
+	t.writeNode(sib)
 	return &entry{rect: sib.mbr(t.dim), child: sib}
 }
 
@@ -409,7 +446,7 @@ func (t *Tree) Delete(r vec.Rect, data int64) bool {
 		return false
 	}
 	leaf.entries = append(leaf.entries[:idx], leaf.entries[idx+1:]...)
-	t.pg.Write(leaf.page)
+	t.writeNode(leaf)
 	t.size--
 	t.condense()
 	return true
@@ -454,7 +491,7 @@ func (t *Tree) condense() {
 				}
 			}
 			n.entries = kept
-			t.pg.Write(n.page)
+			t.writeNode(n)
 		}
 		if n != t.root && len(n.entries) < t.minEntries {
 			for _, e := range n.entries {
@@ -497,6 +534,18 @@ func (t *Tree) CheckInvariants() error {
 			return fmt.Errorf("rtree: non-root node with %d < m=%d entries", len(n.entries), t.minEntries)
 		}
 		if n.level == 0 {
+			if len(n.flatLo) != len(n.entries)*t.dim || len(n.flatHi) != len(n.entries)*t.dim {
+				return fmt.Errorf("rtree: leaf SoA mirror holds %d/%d coords for %d entries",
+					len(n.flatLo), len(n.flatHi), len(n.entries))
+			}
+			m := len(n.entries)
+			for i := range n.entries {
+				for j := 0; j < t.dim; j++ {
+					if n.flatLo[j*m+i] != n.entries[i].rect.Lo[j] || n.flatHi[j*m+i] != n.entries[i].rect.Hi[j] {
+						return fmt.Errorf("rtree: stale leaf SoA mirror at entry %d dim %d", i, j)
+					}
+				}
+			}
 			count += len(n.entries)
 			return nil
 		}

@@ -246,6 +246,85 @@ func (r Rect) LongestDim() int {
 // restricting cells to the data space.
 func (r Rect) Clip(bounds Rect) Rect { return r.Intersect(bounds) }
 
+// ClampInPlace moves p coordinate-wise to the nearest point inside r. It is
+// the projection used by the out-of-bounds query fallback: for a point outside
+// the data space, the clamped point is the closest in-space location.
+func (r Rect) ClampInPlace(p Point) {
+	mustSameDim(r.Dim(), len(p))
+	for i := range p {
+		if p[i] < r.Lo[i] {
+			p[i] = r.Lo[i]
+		} else if p[i] > r.Hi[i] {
+			p[i] = r.Hi[i]
+		}
+	}
+}
+
+// ContainsFlat reports whether p lies in the rectangle stored at lo/hi, two
+// flat coordinate slices of length len(p). This is the SoA form of
+// Rect.Contains used by the flat leaf layout of the tree indexes: the
+// coordinates of consecutive entries are contiguous in memory, so a scan over
+// a node touches cache lines linearly and exits on the first separating
+// dimension.
+func ContainsFlat(p Point, lo, hi []float64) bool {
+	lo = lo[:len(p)]
+	hi = hi[:len(p)]
+	for i, v := range p {
+		if v < lo[i] || v > hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IntersectsFlat reports whether the rectangle stored at lo/hi intersects s.
+// The SoA form of Rect.Intersects.
+func IntersectsFlat(s Rect, lo, hi []float64) bool {
+	lo = lo[:len(s.Lo)]
+	hi = hi[:len(s.Lo)]
+	for i := range s.Lo {
+		if lo[i] > s.Hi[i] || s.Lo[i] > hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Dist2Flat returns the squared Euclidean distance between p and the point
+// stored at q, a flat coordinate slice of length len(p). Same operations in
+// the same order as Euclidean.Dist2, so results are bitwise identical; used
+// against SoA point mirrors where consecutive points are contiguous.
+func Dist2Flat(p Point, q []float64) float64 {
+	q = q[:len(p)]
+	s := 0.0
+	for i, v := range p {
+		d := v - q[i]
+		s += d * d
+	}
+	return s
+}
+
+// MinDist2Stride returns the squared Euclidean distance from p to rectangle i
+// of a dimension-major SoA mirror holding stride rectangles: dimension j of
+// rectangle i lives at lo[j*stride+i] / hi[j*stride+i]. It performs the same
+// operations in the same order as Euclidean.MinDist2, so results are bitwise
+// identical.
+func MinDist2Stride(p Point, lo, hi []float64, i, stride int) float64 {
+	s := 0.0
+	for j, v := range p {
+		at := j*stride + i
+		switch {
+		case v < lo[at]:
+			d := lo[at] - v
+			s += d * d
+		case v > hi[at]:
+			d := v - hi[at]
+			s += d * d
+		}
+	}
+	return s
+}
+
 // SplitAt cuts r at coordinate c in dimension dim and returns the lower and
 // upper parts. The cut is clamped to r's extent, so one part may be
 // degenerate (zero extent) but never inverted.

@@ -1,0 +1,5 @@
+//go:build !race
+
+package xtree
+
+const raceEnabled = false

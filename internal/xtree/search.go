@@ -15,6 +15,11 @@ type Neighbor struct {
 // PointQuery visits every leaf entry whose rectangle contains p; visit
 // returns false to stop. With NN-cell approximations stored in the tree, this
 // single call answers a nearest-neighbor query.
+//
+// This recursive closure-based traversal is the seed (PR 1) query path. It is
+// retained as the reference implementation: the zero-allocation iterative
+// engine (QueryCtx) is tested for result-identical behaviour against it, and
+// the bench-query record measures its speedup over this path.
 func (t *Tree) PointQuery(p vec.Point, visit func(Entry) bool) {
 	t.searchNode(t.root, func(r vec.Rect) bool { return r.Contains(p) }, visit)
 }

@@ -66,6 +66,37 @@ type node struct {
 	pages   []pager.PageID // >1 for supernodes
 	level   int            // 0 = leaf
 	entries []entry
+
+	// flatLo/flatHi mirror the leaf entry rectangles in a flat dimension-major
+	// SoA layout: dimension j of entry i lives at [j*len(entries)+i].
+	// Leaf-only; rebuilt by writeNode whenever the entry set changes, so
+	// query-time containment and MinDist² tests scan contiguous memory
+	// dimension-first instead of chasing per-entry slice headers (see
+	// DESIGN.md §8).
+	flatLo, flatHi []float64
+}
+
+// syncFlat rebuilds the SoA coordinate mirror of a leaf node. The layout is
+// dimension-major: with m entries, dimension j of entry i lives at index
+// j*m+i, so a query predicate tests dimension 0 of every entry in one
+// contiguous pass and later dimensions only for the entries still alive
+// (dimension-first pruning).
+func (n *node) syncFlat(d int) {
+	m := len(n.entries)
+	want := m * d
+	if cap(n.flatLo) < want {
+		n.flatLo = make([]float64, 0, 2*want)
+		n.flatHi = make([]float64, 0, 2*want)
+	}
+	n.flatLo = n.flatLo[:want]
+	n.flatHi = n.flatHi[:want]
+	for i := range n.entries {
+		lo, hi := n.entries[i].rect.Lo, n.entries[i].rect.Hi
+		for j := 0; j < d; j++ {
+			n.flatLo[j*m+i] = lo[j]
+			n.flatHi[j*m+i] = hi[j]
+		}
+	}
 }
 
 func (n *node) isSuper() bool { return len(n.pages) > 1 }
@@ -170,7 +201,14 @@ func (t *Tree) Insert(r vec.Rect, data int64) {
 }
 
 func (t *Tree) accessNode(n *node) { t.pg.AccessRun(n.pages) }
+
+// writeNode records the page writes of a node mutation. Every code path that
+// changes a node's entry set ends in writeNode, which makes it the single
+// hook keeping the leaf SoA mirror in sync.
 func (t *Tree) writeNode(n *node) {
+	if n.level == 0 {
+		n.syncFlat(t.dim)
+	}
 	for _, id := range n.pages {
 		t.pg.Write(id)
 	}
@@ -638,6 +676,18 @@ func (t *Tree) CheckInvariants() error {
 			return fmt.Errorf("xtree: non-root node with %d < m=%d entries", len(n.entries), t.minEntries)
 		}
 		if n.level == 0 {
+			if len(n.flatLo) != len(n.entries)*t.dim || len(n.flatHi) != len(n.entries)*t.dim {
+				return fmt.Errorf("xtree: leaf SoA mirror holds %d/%d coords for %d entries",
+					len(n.flatLo), len(n.flatHi), len(n.entries))
+			}
+			m := len(n.entries)
+			for i := range n.entries {
+				for j := 0; j < t.dim; j++ {
+					if n.flatLo[j*m+i] != n.entries[i].rect.Lo[j] || n.flatHi[j*m+i] != n.entries[i].rect.Hi[j] {
+						return fmt.Errorf("xtree: stale leaf SoA mirror at entry %d dim %d", i, j)
+					}
+				}
+			}
 			count += len(n.entries)
 			return nil
 		}
