@@ -3,9 +3,9 @@
 # §"Construction hot path" and §"Query engine").
 GO ?= go
 
-.PHONY: check vet build test race bench-smoke bench-build bench-query bench
+.PHONY: check vet build test race serve-smoke bench-smoke bench-build bench-query bench
 
-check: vet build test race bench-smoke
+check: vet build test race serve-smoke bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -16,11 +16,17 @@ build:
 test:
 	$(GO) test ./...
 
-# The LP solver and the NN-cell builder are the concurrency-sensitive
-# packages (per-worker solver state, parallel build, query/update locking,
-# pooled query contexts shared by NearestNeighborBatch workers).
+# The LP solver, the NN-cell builder, and the HTTP serving layer are the
+# concurrency-sensitive packages (per-worker solver state, parallel build,
+# query/update locking, pooled query contexts shared by batch workers, and
+# the admission limiter / graceful-drain machinery).
 race:
-	$(GO) test -race ./internal/nncell/ ./internal/lp/
+	$(GO) test -race ./internal/nncell/ ./internal/lp/ ./internal/server/
+
+# End-to-end serving lifecycle against the real binary: build an index, start
+# `nncell serve`, answer a query, scrape /metrics, SIGTERM, drained exit.
+serve-smoke:
+	$(GO) test -run 'TestServeSmoke' -count 1 ./cmd/nncell/
 
 # One iteration of the hot-path benchmarks: proves the 0 allocs/op contracts
 # of the warm LP loop and the warm query engine, and that construction and

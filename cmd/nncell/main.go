@@ -5,25 +5,40 @@
 //	nncell -n 2000 -d 8 -alg sphere -queries 500
 //	nncell -n 1000 -d 12 -alg nndir -decompose 8
 //	nncell -demo           # 2-D ASCII NN-diagram (paper Fig. 1/2)
+//
+// The serve subcommand exposes an index over HTTP (see internal/server for
+// the endpoints and the /metrics observability surface):
+//
+//	nncell -n 2000 -d 8 -save index.bin -queries 0
+//	nncell serve -addr :8080 -load index.bin
+//	nncell serve -addr :8080 -n 2000 -d 8    # build synthetic, then serve
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/nncell"
 	"repro/internal/pager"
 	"repro/internal/scan"
+	"repro/internal/server"
 	"repro/internal/stats"
 	"repro/internal/vec"
 	"repro/internal/voronoi"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		serveMain(os.Args[2:])
+		return
+	}
 	var (
 		n         = flag.Int("n", 2000, "number of data points")
 		saveFile  = flag.String("save", "", "write the built index to this file")
@@ -45,23 +60,29 @@ func main() {
 		return
 	}
 
-	algorithm, err := parseAlg(*alg)
-	if err != nil {
-		fatalf("%v", err)
-	}
 	rng := rand.New(rand.NewSource(*seed))
-	pts, err := dataset.Generate(dataset.Name(*data), rng, *n, *d)
-	if err != nil {
-		fatalf("%v", err)
-	}
-	pts = dataset.Deduplicate(pts)
-
 	pg := pager.New(pager.Config{CachePages: *cache})
 	var (
 		ix        *nncell.Index
+		pts       []vec.Point
 		buildTime time.Duration
 	)
 	if *loadFile != "" {
+		// Build parameters describe a dataset this run will never construct;
+		// ignoring them quietly would let a stale flag pair a fresh synthetic
+		// ground truth with an unrelated loaded index. Say loudly that the
+		// loaded index wins, and verify against its own live points only.
+		var ignored []string
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "n", "d", "data", "alg", "decompose":
+				ignored = append(ignored, "-"+f.Name)
+			}
+		})
+		if len(ignored) > 0 {
+			fmt.Printf("note: %v describe a build and are ignored with -load; "+
+				"verification uses the loaded index's own points\n", ignored)
+		}
 		f, err := os.Open(*loadFile)
 		if err != nil {
 			fatalf("%v", err)
@@ -73,22 +94,25 @@ func main() {
 			fatalf("load: %v", err)
 		}
 		buildTime = time.Since(start)
-		if ix.Dim() != *d {
-			fmt.Printf("note: loaded index is %d-dimensional; overriding -d\n", ix.Dim())
-			*d = ix.Dim()
-		}
-		// Verification needs the live point set.
-		pts = pts[:0]
+		*d = ix.Dim()
 		for _, id := range ix.IDs() {
 			p, _ := ix.Point(id)
 			pts = append(pts, p)
 		}
 		fmt.Printf("loaded NN-cell index from %s: %d points, d=%d\n", *loadFile, ix.Len(), ix.Dim())
 	} else {
+		algorithm, err := parseAlg(*alg)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		pts, err = dataset.Generate(dataset.Name(*data), rng, *n, *d)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		pts = dataset.Deduplicate(pts)
 		fmt.Printf("building NN-cell index: %d %s points, d=%d, algorithm=%v, decompose=%d\n",
 			len(pts), *data, *d, algorithm, *decompose)
 		start := time.Now()
-		var err error
 		ix, err = nncell.Build(pts, vec.UnitCube(*d), pg, nncell.Options{
 			Algorithm: algorithm,
 			Decompose: *decompose,
@@ -124,12 +148,15 @@ func main() {
 	}
 	pg.ResetStats()
 	pg.DropCache()
+	// Queries cover the index's own data space — identical to the unit cube
+	// for built indexes, and the right region for any loaded one.
+	bounds := ix.Bounds()
 	var lat stats.Histogram
 	start := time.Now()
 	for i := 0; i < *queries; i++ {
 		q := make(vec.Point, *d)
 		for j := range q {
-			q[j] = rng.Float64()
+			q[j] = bounds.Lo[j] + rng.Float64()*(bounds.Hi[j]-bounds.Lo[j])
 		}
 		qStart := time.Now()
 		got, err := ix.NearestNeighbor(q)
@@ -146,14 +173,103 @@ func main() {
 	elapsed := time.Since(start)
 	qs := ix.Stats()
 	ps := pg.Stats()
-	fmt.Printf("queries: %d in %v (%.1f µs/query CPU)\n",
-		*queries, elapsed.Round(time.Millisecond), float64(elapsed.Microseconds())/float64(*queries))
-	fmt.Printf("latency: %s\n", lat.String())
-	fmt.Printf("candidates/query: %.2f   page accesses: %d (misses %d)   fallbacks: %d\n",
-		float64(qs.Candidates)/float64(qs.Queries), ps.Accesses, ps.Misses, qs.Fallbacks)
-	if oracle != nil {
-		fmt.Println("verification: every answer matched the sequential scan")
+	if *queries > 0 {
+		fmt.Printf("queries: %d in %v (%.1f µs/query CPU)\n",
+			*queries, elapsed.Round(time.Millisecond), float64(elapsed.Microseconds())/float64(*queries))
+		fmt.Printf("latency: %s\n", lat.String())
+		fmt.Printf("candidates/query: %.2f   page accesses: %d (misses %d)   fallbacks: %d\n",
+			float64(qs.Candidates)/float64(qs.Queries), ps.Accesses, ps.Misses, qs.Fallbacks)
+		if oracle != nil {
+			fmt.Println("verification: every answer matched the sequential scan")
+		}
 	}
+}
+
+// serveMain implements `nncell serve`: load (or build) an index, then serve
+// it over HTTP until SIGINT/SIGTERM, draining in-flight requests on the way
+// out.
+func serveMain(args []string) {
+	fs := flag.NewFlagSet("nncell serve", flag.ExitOnError)
+	var (
+		addr        = fs.String("addr", ":8080", "listen address")
+		loadFile    = fs.String("load", "", "serve the index saved in this file")
+		n           = fs.Int("n", 2000, "points for a synthetic index (when -load is absent)")
+		d           = fs.Int("d", 8, "dimensionality of the synthetic index")
+		data        = fs.String("data", "uniform", "synthetic dataset: uniform|grid|diagonal|clustered|fourier")
+		alg         = fs.String("alg", "sphere", "approximation algorithm for the synthetic index")
+		decompose   = fs.Int("decompose", 0, "fragment budget per cell for the synthetic index")
+		seed        = fs.Int64("seed", 1, "random seed for the synthetic index")
+		cache       = fs.Int("cache", 64, "pager cache budget in pages")
+		timeout     = fs.Duration("timeout", 5*time.Second, "per-request admission deadline")
+		grace       = fs.Duration("grace", 10*time.Second, "shutdown drain budget")
+		maxBody     = fs.Int64("max-body", 1<<20, "request body cap in bytes")
+		maxInflight = fs.Int("max-inflight", 0, "concurrent query limit (0 = 4×GOMAXPROCS)")
+		maxBatch    = fs.Int("max-batch", 1024, "points per batch request")
+		maxK        = fs.Int("max-k", 256, "largest accepted k")
+		snapshot    = fs.String("snapshot", "", "periodically save the serving index to this file")
+		snapEvery   = fs.Duration("snapshot-every", 5*time.Minute, "snapshot interval")
+	)
+	fs.Parse(args)
+
+	pg := pager.New(pager.Config{CachePages: *cache})
+	var ix *nncell.Index
+	if *loadFile != "" {
+		f, err := os.Open(*loadFile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		start := time.Now()
+		ix, err = nncell.Load(f, pg)
+		f.Close()
+		if err != nil {
+			fatalf("load: %v", err)
+		}
+		fmt.Printf("nncell: loaded %d points (d=%d, %d fragments) from %s in %v\n",
+			ix.Len(), ix.Dim(), ix.Fragments(), *loadFile, time.Since(start).Round(time.Millisecond))
+	} else {
+		algorithm, err := parseAlg(*alg)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		rng := rand.New(rand.NewSource(*seed))
+		pts, err := dataset.Generate(dataset.Name(*data), rng, *n, *d)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		pts = dataset.Deduplicate(pts)
+		start := time.Now()
+		ix, err = nncell.Build(pts, vec.UnitCube(*d), pg, nncell.Options{
+			Algorithm: algorithm,
+			Decompose: *decompose,
+		})
+		if err != nil {
+			fatalf("build: %v", err)
+		}
+		fmt.Printf("nncell: built synthetic index, %d %s points (d=%d) in %v\n",
+			len(pts), *data, *d, time.Since(start).Round(time.Millisecond))
+	}
+
+	srv := server.New(ix, server.Config{
+		RequestTimeout: *timeout,
+		ShutdownGrace:  *grace,
+		MaxBodyBytes:   *maxBody,
+		MaxInFlight:    *maxInflight,
+		MaxBatch:       *maxBatch,
+		MaxK:           *maxK,
+		SnapshotPath:   *snapshot,
+		SnapshotEvery:  *snapEvery,
+	})
+	if err := srv.Listen(*addr); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("nncell: serving on http://%s\n", srv.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := srv.Serve(ctx); err != nil {
+		fatalf("serve: %v", err)
+	}
+	fmt.Println("nncell: shutdown complete (in-flight requests drained)")
 }
 
 func runDemo(seed int64) {

@@ -2,6 +2,7 @@ package nncell
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/vec"
 	"repro/internal/xtree"
@@ -73,6 +74,14 @@ func (ix *Index) Delete(id int) error {
 	ix.removeFragments(id)
 	ix.points[id] = nil
 	ix.cells[id] = nil
+	// Poison the SoA mirror row so that any read path that would resolve the
+	// tombstoned id through stale coordinates yields NaN distances (loudly
+	// wrong) instead of a silently plausible neighbor. Every query path
+	// guards on points[id] != nil or only sees live tree entries, so the row
+	// is unreachable; see TestTombstoneCoordsUnreachable for the proof.
+	for j := id * ix.dim; j < (id+1)*ix.dim; j++ {
+		ix.ptsFlat[j] = math.NaN()
+	}
 	ix.alive--
 
 	if ix.alive == 0 {

@@ -163,7 +163,7 @@ type Index struct {
 
 	mu      sync.RWMutex
 	points  []vec.Point // nil entries are tombstones
-	ptsFlat []float64   // SoA mirror: point id's coords at [id*dim:(id+1)*dim]; stale for tombstones
+	ptsFlat []float64   // SoA mirror: point id's coords at [id*dim:(id+1)*dim]; NaN-poisoned for tombstones
 	alive   int
 	cells   [][]vec.Rect // fragment MBRs per point id (nil for tombstones)
 	tree    *xtree.Tree  // fragment MBRs, Data = point id
@@ -326,6 +326,11 @@ func (ix *Index) Fragments() int { return int(ix.stats.fragments.Load()) }
 
 // Tree exposes the backing X-tree for inspection (read-only use).
 func (ix *Index) Tree() *xtree.Tree { return ix.tree }
+
+// Pager exposes the simulated page store beneath both X-trees, so callers
+// (the serving layer's /metrics endpoint, experiment harnesses) can report
+// page-access counters and hit ratios alongside the index stats.
+func (ix *Index) Pager() *pager.Pager { return ix.pg }
 
 // Stats returns a snapshot of the counters.
 func (ix *Index) Stats() Stats {

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 
@@ -18,7 +19,7 @@ import (
 // without re-running a single linear program. Integers and floats are
 // little-endian; the layout is:
 //
-//	magic   [8]byte  "NNCELLv1"
+//	magic   [8]byte  "NNCELLv2"
 //	dim     uint32
 //	flags   uint32   (reserved, 0)
 //	options: algorithm, decompose, obliqueness uint32; sphereScale, epsilon float64
@@ -26,7 +27,29 @@ import (
 //	count   uint64   (point slots, including tombstones)
 //	per slot: alive uint8; if alive: dim float64 coordinates,
 //	          nfrags uint32, then per fragment 2·dim float64
-const persistMagic = "NNCELLv1"
+//	crc32   uint32   (IEEE, over everything after the magic)
+//
+// The trailing checksum covers the whole payload, so a long-lived server
+// loading a snapshot detects bit rot and truncated copies instead of serving
+// a silently-corrupt solution space (a flipped MBR bit can shrink a cell and
+// re-introduce the false dismissals Lemma 2 rules out). The stream must end
+// at the checksum; trailing bytes are rejected as corruption.
+const persistMagic = "NNCELLv2"
+
+// Hard upper bounds on header-declared sizes. They exist to reject absurd
+// inputs early; Load additionally never trusts them for allocation — all
+// per-slot storage grows incrementally as the stream proves it contains the
+// data, so a forged count cannot reserve memory the stream never backs.
+const (
+	maxPersistCount  = 1 << 40
+	maxPersistFrags  = 1 << 20
+	maxPersistDim    = 1 << 16
+	maxPersistDecomp = 1 << 20
+	// maxPersistCoords bounds count·dim. Tombstone slots cost one stream byte
+	// but dim mirror floats, so without this cap a short forged header could
+	// amplify a few kilobytes of input into gigabytes of NaN rows.
+	maxPersistCoords = 1 << 28
+)
 
 // Save writes the index (points, options, and every cell approximation) to w.
 func (ix *Index) Save(w io.Writer) error {
@@ -38,9 +61,11 @@ func (ix *Index) Save(w io.Writer) error {
 	if _, err := bw.WriteString(persistMagic); err != nil {
 		return fmt.Errorf("nncell: save: %w", err)
 	}
+	sum := crc32.NewIEEE()
+	body := io.MultiWriter(bw, sum)
 	write := func(vs ...interface{}) error {
 		for _, v := range vs {
-			if err := binary.Write(bw, le, v); err != nil {
+			if err := binary.Write(body, le, v); err != nil {
 				return fmt.Errorf("nncell: save: %w", err)
 			}
 		}
@@ -75,12 +100,21 @@ func (ix *Index) Save(w io.Writer) error {
 			}
 		}
 	}
+	if err := binary.Write(bw, le, sum.Sum32()); err != nil {
+		return fmt.Errorf("nncell: save: %w", err)
+	}
 	return bw.Flush()
 }
 
-// Load reconstructs a saved index onto a fresh pager. The cell
-// approximations are reused verbatim (no LPs are solved); only the two
-// X-trees are rebuilt, which is pure insertion work.
+// Load reconstructs a saved index onto a fresh pager. The cell approximations
+// are reused verbatim (no LPs are solved); only the two X-trees are rebuilt,
+// which is pure insertion work.
+//
+// Load treats the stream as untrusted: truncation, header/payload size
+// mismatches, non-finite or out-of-bounds coordinates, duplicate points,
+// invalid option enums, checksum mismatches and trailing garbage all return
+// errors. It never panics on malformed input and never returns an index it
+// did not fully validate (FuzzLoad exercises this contract).
 func Load(r io.Reader, pg *pager.Pager) (*Index, error) {
 	br := bufio.NewReader(r)
 	le := binary.LittleEndian
@@ -92,9 +126,11 @@ func Load(r io.Reader, pg *pager.Pager) (*Index, error) {
 	if string(magic) != persistMagic {
 		return nil, fmt.Errorf("nncell: load: bad magic %q", magic)
 	}
+	sum := crc32.NewIEEE()
+	body := io.TeeReader(br, sum)
 	read := func(vs ...interface{}) error {
 		for _, v := range vs {
-			if err := binary.Read(br, le, v); err != nil {
+			if err := binary.Read(body, le, v); err != nil {
 				return fmt.Errorf("nncell: load: %w", err)
 			}
 		}
@@ -105,11 +141,23 @@ func Load(r io.Reader, pg *pager.Pager) (*Index, error) {
 	if err := read(&dim, &flags, &alg, &decomp, &obliq, &sphereScale, &epsilon); err != nil {
 		return nil, err
 	}
-	if dim == 0 || dim > 1<<16 {
+	if dim == 0 || dim > maxPersistDim {
 		return nil, fmt.Errorf("nncell: load: implausible dimensionality %d", dim)
 	}
 	if flags != 0 {
 		return nil, fmt.Errorf("nncell: load: unknown flags %#x", flags)
+	}
+	if Algorithm(alg) > NNDirection {
+		return nil, fmt.Errorf("nncell: load: unknown algorithm %d", alg)
+	}
+	if ObliquenessHeuristic(obliq) > ExtentBased {
+		return nil, fmt.Errorf("nncell: load: unknown obliqueness heuristic %d", obliq)
+	}
+	if decomp > maxPersistDecomp {
+		return nil, fmt.Errorf("nncell: load: implausible decompose budget %d", decomp)
+	}
+	if !isFinite(sphereScale) || sphereScale < 0 || !isFinite(epsilon) || epsilon < 0 {
+		return nil, fmt.Errorf("nncell: load: invalid options (sphereScale=%v epsilon=%v)", sphereScale, epsilon)
 	}
 	d := int(dim)
 	opts := Options{
@@ -125,15 +173,18 @@ func Load(r io.Reader, pg *pager.Pager) (*Index, error) {
 	if err := read(bounds.Lo, bounds.Hi); err != nil {
 		return nil, err
 	}
-	if bounds.IsEmpty() {
-		return nil, fmt.Errorf("nncell: load: empty data space %v", bounds)
+	if !validRect(bounds) {
+		return nil, fmt.Errorf("nncell: load: invalid data space %v", bounds)
 	}
 	var count uint64
 	if err := read(&count); err != nil {
 		return nil, err
 	}
-	if count > 1<<40 {
+	if count > maxPersistCount {
 		return nil, fmt.Errorf("nncell: load: implausible point count %d", count)
+	}
+	if count*uint64(d) > maxPersistCoords {
+		return nil, fmt.Errorf("nncell: load: implausible index size (%d points × %d dims)", count, d)
 	}
 
 	ix := &Index{
@@ -141,19 +192,29 @@ func Load(r io.Reader, pg *pager.Pager) (*Index, error) {
 		opts:    opts,
 		pg:      pg,
 		bounds:  bounds,
-		points:  make([]vec.Point, count),
-		ptsFlat: make([]float64, int(count)*d),
-		cells:   make([][]vec.Rect, count),
 		tree:    xtree.New(d, pg, opts.XTree),
 		dataIdx: xtree.New(d, pg, opts.XTree),
+	}
+	// Duplicate detection, same byte-exact keying as Build: a duplicated
+	// point has an empty NN-cell, so a stream containing one is corrupt.
+	seen := make(map[string]bool)
+	keyBuf := make([]byte, 0, 8*d)
+	nanRow := make([]float64, d)
+	for j := range nanRow {
+		nanRow[j] = math.NaN()
 	}
 	for id := uint64(0); id < count; id++ {
 		var aliveFlag uint8
 		if err := read(&aliveFlag); err != nil {
 			return nil, err
 		}
+		// Tombstone slots carry no payload; their mirror rows are
+		// NaN-poisoned exactly as Delete leaves them.
 		switch aliveFlag {
 		case 0:
+			ix.points = append(ix.points, nil)
+			ix.cells = append(ix.cells, nil)
+			ix.ptsFlat = append(ix.ptsFlat, nanRow...)
 			continue
 		case 1:
 		default:
@@ -167,29 +228,48 @@ func Load(r io.Reader, pg *pager.Pager) (*Index, error) {
 		if !validPoint(p, bounds) {
 			return nil, fmt.Errorf("nncell: load: point %d = %v outside data space", id, p)
 		}
-		if nfrags == 0 || nfrags > 1<<20 {
+		keyBuf = keyBuf[:0]
+		for _, v := range p {
+			keyBuf = binary.LittleEndian.AppendUint64(keyBuf, math.Float64bits(v))
+		}
+		k := string(keyBuf)
+		if seen[k] {
+			return nil, fmt.Errorf("nncell: load: duplicate point %v at slot %d", p, id)
+		}
+		seen[k] = true
+		if nfrags == 0 || nfrags > maxPersistFrags {
 			return nil, fmt.Errorf("nncell: load: implausible fragment count %d for point %d", nfrags, id)
 		}
-		frags := make([]vec.Rect, nfrags)
-		for f := range frags {
-			r := vec.EmptyRect(d)
-			if err := read(r.Lo, r.Hi); err != nil {
+		var frags []vec.Rect
+		for f := uint32(0); f < nfrags; f++ {
+			rc := vec.EmptyRect(d)
+			if err := read(rc.Lo, rc.Hi); err != nil {
 				return nil, err
 			}
-			if r.IsEmpty() {
-				return nil, fmt.Errorf("nncell: load: empty fragment %d of point %d", f, id)
+			if !validRect(rc) {
+				return nil, fmt.Errorf("nncell: load: invalid fragment %d of point %d: %v", f, id, rc)
 			}
-			frags[f] = r
+			frags = append(frags, rc)
 		}
-		ix.points[id] = p
-		copy(ix.ptsFlat[int(id)*d:], p)
-		ix.cells[id] = frags
+		ix.points = append(ix.points, p)
+		ix.ptsFlat = append(ix.ptsFlat, p...)
+		ix.cells = append(ix.cells, frags)
 		ix.alive++
 		ix.dataIdx.Insert(vec.PointRect(p), int64(id))
-		for _, r := range frags {
-			ix.tree.Insert(r, int64(id))
+		for _, rc := range frags {
+			ix.tree.Insert(rc, int64(id))
 			ix.stats.fragments.Add(1)
 		}
+	}
+	var wantSum uint32
+	if err := binary.Read(br, le, &wantSum); err != nil {
+		return nil, fmt.Errorf("nncell: load: missing checksum: %w", err)
+	}
+	if got := sum.Sum32(); got != wantSum {
+		return nil, fmt.Errorf("nncell: load: checksum mismatch (stream %#x, computed %#x)", wantSum, got)
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("nncell: load: trailing garbage after checksum")
 	}
 	if ix.alive == 0 {
 		return nil, ErrEmpty
@@ -197,11 +277,25 @@ func Load(r io.Reader, pg *pager.Pager) (*Index, error) {
 	return ix, nil
 }
 
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
 func validPoint(p vec.Point, bounds vec.Rect) bool {
 	for _, v := range p {
-		if math.IsNaN(v) || math.IsInf(v, 0) {
+		if !isFinite(v) {
 			return false
 		}
 	}
 	return bounds.Contains(p)
+}
+
+// validRect reports whether every corner coordinate is finite and the
+// rectangle is non-empty (Lo ≤ Hi in every dimension). NaN corners would
+// otherwise slip past IsEmpty, whose comparisons are all false for NaN.
+func validRect(r vec.Rect) bool {
+	for i := range r.Lo {
+		if !isFinite(r.Lo[i]) || !isFinite(r.Hi[i]) || r.Lo[i] > r.Hi[i] {
+			return false
+		}
+	}
+	return true
 }

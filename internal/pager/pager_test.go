@@ -240,3 +240,39 @@ func BenchmarkAccessHit(b *testing.B) {
 		p.Access(id)
 	}
 }
+
+// The serial/parallel pair below measures the cost of the pager's single
+// global mutex under the serving layer's concurrent-query access pattern.
+// The per-access critical section is tens of nanoseconds (a map lookup plus
+// an LRU list move), so the lock is the scaling bottleneck: see the package
+// doc comment and DESIGN.md §9 for measured numbers and the sharding plan.
+
+func BenchmarkAccessSerial(b *testing.B) {
+	p := New(Config{CachePages: 64})
+	ids := p.AllocRun(256)
+	for _, id := range ids {
+		p.Access(id)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Access(ids[i%len(ids)])
+	}
+}
+
+func BenchmarkAccessParallel(b *testing.B) {
+	p := New(Config{CachePages: 64})
+	ids := p.AllocRun(256)
+	for _, id := range ids {
+		p.Access(id)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			p.Access(ids[i%len(ids)])
+			i++
+		}
+	})
+}

@@ -1,0 +1,329 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/nncell"
+	"repro/internal/vec"
+)
+
+var startTime = time.Now()
+
+// Wire types. Queries are POSTed as JSON; the single-point endpoints also
+// accept GET with ?point=0.1,0.2(&k=3) for curl-friendly exploration.
+type queryRequest struct {
+	Point []float64 `json:"point"`
+	K     int       `json:"k,omitempty"`
+}
+
+type batchRequest struct {
+	Points [][]float64 `json:"points"`
+	K      int         `json:"k,omitempty"`
+}
+
+type neighborResponse struct {
+	ID    int     `json:"id"`
+	Dist2 float64 `json:"dist2"`
+}
+
+type nnResponse struct {
+	ID    int       `json:"id"`
+	Dist2 float64   `json:"dist2"`
+	Point []float64 `json:"point"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...interface{}) {
+	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeQuery parses a single-point request from either verb and validates
+// the point against the index. A false return means the response was written.
+func (s *Server) decodeQuery(w http.ResponseWriter, r *http.Request) (vec.Point, int, bool) {
+	var req queryRequest
+	switch r.Method {
+	case http.MethodGet:
+		raw := r.URL.Query().Get("point")
+		if raw == "" {
+			writeError(w, http.StatusBadRequest, "missing point parameter")
+			return nil, 0, false
+		}
+		for _, part := range strings.Split(raw, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, "bad point coordinate %q", part)
+				return nil, 0, false
+			}
+			req.Point = append(req.Point, v)
+		}
+		if kRaw := r.URL.Query().Get("k"); kRaw != "" {
+			k, err := strconv.Atoi(kRaw)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, "bad k %q", kRaw)
+				return nil, 0, false
+			}
+			req.K = k
+		}
+	case http.MethodPost:
+		if !decodeBody(w, r, &req) {
+			return nil, 0, false
+		}
+	default:
+		w.Header().Set("Allow", "GET, POST")
+		writeError(w, http.StatusMethodNotAllowed, "use GET or POST")
+		return nil, 0, false
+	}
+	q, err := s.validatePoint(req.Point)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return nil, 0, false
+	}
+	return q, req.K, true
+}
+
+// decodeBody unmarshals a JSON POST body into v, translating the body-cap
+// error to 413. A false return means the response was written.
+func decodeBody(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+	err := json.NewDecoder(r.Body).Decode(v)
+	if err == nil {
+		return true
+	}
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		writeError(w, http.StatusRequestEntityTooLarge, "request body over %d bytes", tooLarge.Limit)
+		return false
+	}
+	writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+	return false
+}
+
+// validatePoint checks dimensionality and finiteness. Out-of-bounds points
+// are fine — the index's clamp-and-verify fallback answers them exactly —
+// but NaN/Inf coordinates would poison distance comparisons.
+func (s *Server) validatePoint(coords []float64) (vec.Point, error) {
+	if len(coords) != s.ix.Dim() {
+		return nil, fmt.Errorf("point has %d dimensions, index has %d", len(coords), s.ix.Dim())
+	}
+	for j, v := range coords {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("coordinate %d is not finite", j)
+		}
+	}
+	return vec.Point(coords), nil
+}
+
+func (s *Server) clampK(w http.ResponseWriter, k int) (int, bool) {
+	if k == 0 {
+		k = 1
+	}
+	if k < 0 || k > s.cfg.MaxK {
+		writeError(w, http.StatusBadRequest, "k must be in [1, %d]", s.cfg.MaxK)
+		return 0, false
+	}
+	return k, true
+}
+
+func (s *Server) handleNN(w http.ResponseWriter, r *http.Request) {
+	q, _, ok := s.decodeQuery(w, r)
+	if !ok {
+		return
+	}
+	nb, err := s.ix.NearestNeighbor(q)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "query failed: %v", err)
+		return
+	}
+	p, _ := s.ix.Point(nb.ID)
+	writeJSON(w, http.StatusOK, nnResponse{ID: nb.ID, Dist2: nb.Dist2, Point: p})
+}
+
+func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
+	q, k, ok := s.decodeQuery(w, r)
+	if !ok {
+		return
+	}
+	k, ok = s.clampK(w, k)
+	if !ok {
+		return
+	}
+	nbs, err := s.ix.KNearest(q, k)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "query failed: %v", err)
+		return
+	}
+	out := make([]neighborResponse, len(nbs))
+	for i, nb := range nbs {
+		out[i] = neighborResponse{ID: nb.ID, Dist2: nb.Dist2}
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Neighbors []neighborResponse `json:"neighbors"`
+	}{out})
+}
+
+func (s *Server) handleCandidates(w http.ResponseWriter, r *http.Request) {
+	q, _, ok := s.decodeQuery(w, r)
+	if !ok {
+		return
+	}
+	bufp := s.cands.Get().(*[]int)
+	ids := s.ix.CandidatesAppend((*bufp)[:0], q)
+	writeJSON(w, http.StatusOK, struct {
+		IDs   []int `json:"ids"`
+		Count int   `json:"count"`
+	}{ids, len(ids)})
+	*bufp = ids[:0]
+	s.cands.Put(bufp)
+}
+
+// decodeBatch parses and validates a batch body. A false return means the
+// response was written.
+func (s *Server) decodeBatch(w http.ResponseWriter, r *http.Request) ([]vec.Point, int, bool) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", "POST")
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return nil, 0, false
+	}
+	var req batchRequest
+	if !decodeBody(w, r, &req) {
+		return nil, 0, false
+	}
+	if len(req.Points) == 0 {
+		writeError(w, http.StatusBadRequest, "empty batch")
+		return nil, 0, false
+	}
+	if len(req.Points) > s.cfg.MaxBatch {
+		writeError(w, http.StatusBadRequest, "batch of %d points over limit %d", len(req.Points), s.cfg.MaxBatch)
+		return nil, 0, false
+	}
+	qs := make([]vec.Point, len(req.Points))
+	for i, coords := range req.Points {
+		q, err := s.validatePoint(coords)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "point %d: %v", i, err)
+			return nil, 0, false
+		}
+		qs[i] = q
+	}
+	return qs, req.K, true
+}
+
+// batchWorkers bounds the per-request fan-out so one batch cannot occupy
+// every core while other requests wait.
+func batchWorkers(n int) int {
+	w := 4
+	if n < w {
+		w = n
+	}
+	return w
+}
+
+func (s *Server) handleNNBatch(w http.ResponseWriter, r *http.Request) {
+	qs, _, ok := s.decodeBatch(w, r)
+	if !ok {
+		return
+	}
+	nbs, err := s.ix.NearestNeighborBatch(qs, batchWorkers(len(qs)))
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "query failed: %v", err)
+		return
+	}
+	out := make([]neighborResponse, len(nbs))
+	for i, nb := range nbs {
+		out[i] = neighborResponse{ID: nb.ID, Dist2: nb.Dist2}
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Results []neighborResponse `json:"results"`
+	}{out})
+}
+
+func (s *Server) handleKNNBatch(w http.ResponseWriter, r *http.Request) {
+	qs, k, ok := s.decodeBatch(w, r)
+	if !ok {
+		return
+	}
+	k, ok = s.clampK(w, k)
+	if !ok {
+		return
+	}
+	out := make([][]neighborResponse, len(qs))
+	for i, q := range qs {
+		nbs, err := s.ix.KNearest(q, k)
+		if err != nil {
+			writeError(w, http.StatusServiceUnavailable, "query %d failed: %v", i, err)
+			return
+		}
+		res := make([]neighborResponse, len(nbs))
+		for j, nb := range nbs {
+			res[j] = neighborResponse{ID: nb.ID, Dist2: nb.Dist2}
+		}
+		out[i] = res
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Results [][]neighborResponse `json:"results"`
+	}{out})
+}
+
+func (s *Server) handleCandidatesBatch(w http.ResponseWriter, r *http.Request) {
+	qs, _, ok := s.decodeBatch(w, r)
+	if !ok {
+		return
+	}
+	out := make([][]int, len(qs))
+	buf := make([]int, 0, 16)
+	for i, q := range qs {
+		buf = s.ix.CandidatesAppend(buf[:0], q)
+		out[i] = append([]int(nil), buf...)
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Results [][]int `json:"results"`
+	}{out})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Status    string  `json:"status"`
+		Points    int     `json:"points"`
+		Dim       int     `json:"dim"`
+		Fragments int     `json:"fragments"`
+		UptimeSec float64 `json:"uptime_seconds"`
+	}{"ok", s.ix.Len(), s.ix.Dim(), s.ix.Fragments(), time.Since(startTime).Seconds()})
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		writeError(w, http.StatusNotFound, "no such endpoint %s", r.URL.Path)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, `nncell query server (d=%d, %d points, %d fragments)
+
+endpoints:
+  GET|POST /v1/nn                  {"point":[...]}            -> nearest neighbor
+  GET|POST /v1/knn                 {"point":[...],"k":K}      -> k nearest neighbors
+  GET|POST /v1/candidates          {"point":[...]}            -> candidate cell ids
+  POST     /v1/nn/batch            {"points":[[...],...]}     -> batched NN
+  POST     /v1/knn/batch           {"points":[...],"k":K}     -> batched k-NN
+  POST     /v1/candidates/batch    {"points":[[...],...]}     -> batched candidates
+  GET      /healthz
+  GET      /metrics                Prometheus text format
+`, s.ix.Dim(), s.ix.Len(), s.ix.Fragments())
+}
+
+// Stats re-exports the index stats snapshot (for embedding callers).
+func (s *Server) Stats() nncell.Stats { return s.ix.Stats() }

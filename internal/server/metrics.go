@@ -1,0 +1,180 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// endpointNames is the fixed metric label set; instrument() only ever passes
+// these, so the map in metrics needs no lock for reads.
+var endpointNames = []string{
+	"index", "healthz", "metrics",
+	"nn", "knn", "candidates",
+	"nn_batch", "knn_batch", "candidates_batch",
+}
+
+type endpointMetrics struct {
+	// codes counts responses by status class: 0=2xx, 1=4xx, 2=5xx.
+	codes   [3]atomic.Uint64
+	latency stats.Histogram
+}
+
+type metrics struct {
+	inflight          atomic.Int64
+	rejected          atomic.Uint64
+	snapshots         atomic.Uint64
+	snapshotErrs      atomic.Uint64
+	lastSnapshotNanos atomic.Int64
+	snapshotSeconds   stats.Histogram
+	endpoints         map[string]*endpointMetrics
+}
+
+func newMetrics() *metrics {
+	m := &metrics{endpoints: make(map[string]*endpointMetrics, len(endpointNames))}
+	for _, name := range endpointNames {
+		m.endpoints[name] = &endpointMetrics{}
+	}
+	return m
+}
+
+func (m *metrics) record(name string, code int, d time.Duration) {
+	em := m.endpoints[name]
+	if em == nil {
+		return
+	}
+	cls := 0
+	switch {
+	case code >= 500:
+		cls = 2
+	case code >= 400:
+		cls = 1
+	}
+	em.codes[cls].Add(1)
+	em.latency.Observe(d)
+}
+
+var codeClasses = [3]string{"2xx", "4xx", "5xx"}
+
+// Histogram exposition range: buckets below 2^9 ns fold into the first
+// emitted edge (~1 µs) and everything above 2^30 ns (~1.07 s) falls through
+// to +Inf, keeping the per-endpoint series count fixed and small while
+// covering the whole plausible query-latency range.
+const (
+	histoMinBucket = 9
+	histoMaxBucket = 30
+)
+
+// handleMetrics renders the observability surface in the Prometheus text
+// exposition format: per-endpoint request counters and latency histograms,
+// index work counters, and the pager's cache behaviour (hit ratio — the
+// quantity the paper's page-access experiments track).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+
+	names := make([]string, 0, len(s.m.endpoints))
+	for name := range s.m.endpoints {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	fmt.Fprintf(w, "# HELP nncell_http_requests_total HTTP requests by endpoint and status class.\n")
+	fmt.Fprintf(w, "# TYPE nncell_http_requests_total counter\n")
+	for _, name := range names {
+		em := s.m.endpoints[name]
+		for cls, label := range codeClasses {
+			if n := em.codes[cls].Load(); n > 0 {
+				fmt.Fprintf(w, "nncell_http_requests_total{endpoint=%q,code=%q} %d\n", name, label, n)
+			}
+		}
+	}
+
+	fmt.Fprintf(w, "# HELP nncell_http_request_duration_seconds Request latency by endpoint.\n")
+	fmt.Fprintf(w, "# TYPE nncell_http_request_duration_seconds histogram\n")
+	for _, name := range names {
+		em := s.m.endpoints[name]
+		snap := em.latency.Snapshot()
+		if snap.Count == 0 {
+			continue
+		}
+		cum := uint64(0)
+		i := 0
+		for ; i <= histoMaxBucket; i++ {
+			cum += snap.Buckets[i]
+			if i < histoMinBucket {
+				continue
+			}
+			le := float64(stats.BucketUpper(i)) / 1e9
+			fmt.Fprintf(w, "nncell_http_request_duration_seconds_bucket{endpoint=%q,le=%q} %d\n",
+				name, fmt.Sprintf("%g", le), cum)
+		}
+		fmt.Fprintf(w, "nncell_http_request_duration_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", name, snap.Count)
+		fmt.Fprintf(w, "nncell_http_request_duration_seconds_sum{endpoint=%q} %g\n", name, snap.Sum.Seconds())
+		fmt.Fprintf(w, "nncell_http_request_duration_seconds_count{endpoint=%q} %d\n", name, snap.Count)
+	}
+
+	fmt.Fprintf(w, "# HELP nncell_http_in_flight Requests currently being served.\n")
+	fmt.Fprintf(w, "# TYPE nncell_http_in_flight gauge\n")
+	fmt.Fprintf(w, "nncell_http_in_flight %d\n", s.m.inflight.Load())
+	fmt.Fprintf(w, "# HELP nncell_http_rejected_total Requests shed by the admission limiter.\n")
+	fmt.Fprintf(w, "# TYPE nncell_http_rejected_total counter\n")
+	fmt.Fprintf(w, "nncell_http_rejected_total %d\n", s.m.rejected.Load())
+
+	ist := s.ix.Stats()
+	fmt.Fprintf(w, "# HELP nncell_index_points Live points in the index.\n")
+	fmt.Fprintf(w, "# TYPE nncell_index_points gauge\n")
+	fmt.Fprintf(w, "nncell_index_points %d\n", s.ix.Len())
+	fmt.Fprintf(w, "# HELP nncell_index_fragments Cell-approximation fragments stored.\n")
+	fmt.Fprintf(w, "# TYPE nncell_index_fragments gauge\n")
+	fmt.Fprintf(w, "nncell_index_fragments %d\n", ist.Fragments)
+	fmt.Fprintf(w, "# HELP nncell_index_queries_total Queries answered by the index.\n")
+	fmt.Fprintf(w, "# TYPE nncell_index_queries_total counter\n")
+	fmt.Fprintf(w, "nncell_index_queries_total %d\n", ist.Queries)
+	fmt.Fprintf(w, "# HELP nncell_index_candidates_total Candidate cells inspected.\n")
+	fmt.Fprintf(w, "# TYPE nncell_index_candidates_total counter\n")
+	fmt.Fprintf(w, "nncell_index_candidates_total %d\n", ist.Candidates)
+	fmt.Fprintf(w, "# HELP nncell_index_fallbacks_total Exact-scan fallbacks taken.\n")
+	fmt.Fprintf(w, "# TYPE nncell_index_fallbacks_total counter\n")
+	fmt.Fprintf(w, "nncell_index_fallbacks_total %d\n", ist.Fallbacks)
+	fmt.Fprintf(w, "# HELP nncell_index_updates_total Affected-cell recomputations from Insert/Delete.\n")
+	fmt.Fprintf(w, "# TYPE nncell_index_updates_total counter\n")
+	fmt.Fprintf(w, "nncell_index_updates_total %d\n", ist.Updates)
+
+	pst := s.ix.Pager().Stats()
+	fmt.Fprintf(w, "# HELP nncell_pager_accesses_total Logical page reads.\n")
+	fmt.Fprintf(w, "# TYPE nncell_pager_accesses_total counter\n")
+	fmt.Fprintf(w, "nncell_pager_accesses_total %d\n", pst.Accesses)
+	fmt.Fprintf(w, "# HELP nncell_pager_hits_total Page reads served from cache.\n")
+	fmt.Fprintf(w, "# TYPE nncell_pager_hits_total counter\n")
+	fmt.Fprintf(w, "nncell_pager_hits_total %d\n", pst.Hits)
+	fmt.Fprintf(w, "# HELP nncell_pager_misses_total Page reads that would hit disk.\n")
+	fmt.Fprintf(w, "# TYPE nncell_pager_misses_total counter\n")
+	fmt.Fprintf(w, "nncell_pager_misses_total %d\n", pst.Misses)
+	ratio := 0.0
+	if pst.Accesses > 0 {
+		ratio = float64(pst.Hits) / float64(pst.Accesses)
+	}
+	fmt.Fprintf(w, "# HELP nncell_pager_hit_ratio Fraction of page reads served from cache.\n")
+	fmt.Fprintf(w, "# TYPE nncell_pager_hit_ratio gauge\n")
+	fmt.Fprintf(w, "nncell_pager_hit_ratio %g\n", ratio)
+	fmt.Fprintf(w, "# HELP nncell_pager_live_pages Allocated, unfreed pages (index size on disk).\n")
+	fmt.Fprintf(w, "# TYPE nncell_pager_live_pages gauge\n")
+	fmt.Fprintf(w, "nncell_pager_live_pages %d\n", s.ix.Pager().LivePages())
+
+	fmt.Fprintf(w, "# HELP nncell_snapshots_total Periodic index snapshots written.\n")
+	fmt.Fprintf(w, "# TYPE nncell_snapshots_total counter\n")
+	fmt.Fprintf(w, "nncell_snapshots_total{result=\"ok\"} %d\n", s.m.snapshots.Load())
+	fmt.Fprintf(w, "nncell_snapshots_total{result=\"error\"} %d\n", s.m.snapshotErrs.Load())
+	if ns := s.m.lastSnapshotNanos.Load(); ns > 0 {
+		fmt.Fprintf(w, "# HELP nncell_last_snapshot_timestamp_seconds Unix time of the last successful snapshot.\n")
+		fmt.Fprintf(w, "# TYPE nncell_last_snapshot_timestamp_seconds gauge\n")
+		fmt.Fprintf(w, "nncell_last_snapshot_timestamp_seconds %g\n", float64(ns)/1e9)
+	}
+	fmt.Fprintf(w, "# HELP nncell_uptime_seconds Process uptime.\n")
+	fmt.Fprintf(w, "# TYPE nncell_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "nncell_uptime_seconds %g\n", time.Since(startTime).Seconds())
+}

@@ -1,0 +1,239 @@
+// Package server exposes an nncell.Index over HTTP as a low-latency
+// query-serving layer: JSON endpoints for nearest-neighbor, k-NN and
+// candidate queries (single and batch), a Prometheus-format /metrics surface,
+// and /healthz. The paper's point-query formulation of NN search — retrieve
+// the MBR approximations containing q, refine among the candidates — is
+// request/response shaped, and the index's read path (pooled QueryCtx
+// contexts, RWMutex read side) already serves concurrent readers at zero
+// allocations per warm query, so the handlers simply call the public
+// nncell API and spend their budget on hygiene: admission control, bounded
+// request bodies, per-endpoint latency histograms, graceful drain on
+// shutdown, and optional periodic snapshots via Index.Save.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/nncell"
+)
+
+// Config tunes the serving layer. The zero value serves with the documented
+// defaults.
+type Config struct {
+	// RequestTimeout bounds how long a request may wait for an admission
+	// slot; it is also the deadline attached to the request context.
+	// Default 5s.
+	RequestTimeout time.Duration
+	// ShutdownGrace bounds how long Serve waits for in-flight requests to
+	// drain after its context is canceled. Default 10s.
+	ShutdownGrace time.Duration
+	// MaxBodyBytes caps request body sizes. Default 1 MiB.
+	MaxBodyBytes int64
+	// MaxInFlight is the admission limit for query endpoints (requests over
+	// the limit wait up to RequestTimeout, then are shed with 503).
+	// /healthz and /metrics are exempt so observability survives overload.
+	// Default 4×GOMAXPROCS.
+	MaxInFlight int
+	// MaxBatch caps the number of points per batch request. Default 1024.
+	MaxBatch int
+	// MaxK caps the k of /v1/knn requests. Default 256.
+	MaxK int
+	// SnapshotPath, if non-empty, makes Serve write the index there (via an
+	// atomic tmp+rename) every SnapshotEvery and once more during shutdown.
+	SnapshotPath  string
+	SnapshotEvery time.Duration
+}
+
+func (c *Config) normalize() {
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 5 * time.Second
+	}
+	if c.ShutdownGrace <= 0 {
+		c.ShutdownGrace = 10 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 4 * runtime.GOMAXPROCS(0)
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 1024
+	}
+	if c.MaxK <= 0 {
+		c.MaxK = 256
+	}
+	if c.SnapshotEvery <= 0 {
+		c.SnapshotEvery = 5 * time.Minute
+	}
+}
+
+// Server serves one nncell.Index. Construct with New, then either mount
+// Handler on an existing mux or call Listen followed by Serve.
+type Server struct {
+	ix    *nncell.Index
+	cfg   Config
+	m     *metrics
+	sem   chan struct{}
+	mux   *http.ServeMux
+	hs    *http.Server
+	ln    net.Listener
+	cands sync.Pool // *[]int candidate buffers
+}
+
+// New builds a Server around an index. The index must outlive the server;
+// queries hold its read lock, so Insert/Delete/Save on the same index remain
+// safe while serving.
+func New(ix *nncell.Index, cfg Config) *Server {
+	cfg.normalize()
+	s := &Server{
+		ix:  ix,
+		cfg: cfg,
+		sem: make(chan struct{}, cfg.MaxInFlight),
+	}
+	s.cands.New = func() interface{} { b := make([]int, 0, 16); return &b }
+	s.m = newMetrics()
+
+	s.mux = http.NewServeMux()
+	s.mux.Handle("/", s.instrument("index", false, s.handleIndex))
+	s.mux.Handle("/healthz", s.instrument("healthz", false, s.handleHealthz))
+	s.mux.Handle("/metrics", s.instrument("metrics", false, s.handleMetrics))
+	s.mux.Handle("/v1/nn", s.instrument("nn", true, s.handleNN))
+	s.mux.Handle("/v1/knn", s.instrument("knn", true, s.handleKNN))
+	s.mux.Handle("/v1/candidates", s.instrument("candidates", true, s.handleCandidates))
+	s.mux.Handle("/v1/nn/batch", s.instrument("nn_batch", true, s.handleNNBatch))
+	s.mux.Handle("/v1/knn/batch", s.instrument("knn_batch", true, s.handleKNNBatch))
+	s.mux.Handle("/v1/candidates/batch", s.instrument("candidates_batch", true, s.handleCandidatesBatch))
+
+	s.hs = &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+		// Socket reads are bounded separately from the admission deadline:
+		// RequestTimeout governs queue wait, this bounds slow-loris bodies.
+		ReadTimeout:    cfg.RequestTimeout + 25*time.Second,
+		IdleTimeout:    2 * time.Minute,
+		MaxHeaderBytes: 16 << 10,
+	}
+	return s
+}
+
+// Handler returns the route table (for tests and embedding; it carries the
+// same middleware as the listening server).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Listen binds the address (":8080", "127.0.0.1:0", …) without serving yet,
+// so callers can learn the resolved Addr before traffic starts.
+func (s *Server) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("server: listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	return nil
+}
+
+// Addr returns the bound listen address (empty before Listen).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Serve accepts connections until ctx is canceled, then shuts down
+// gracefully: the listener closes, in-flight requests get up to
+// ShutdownGrace to finish, and — if snapshots are configured — a final
+// snapshot is written. It returns nil after a clean drain.
+func (s *Server) Serve(ctx context.Context) error {
+	if s.ln == nil {
+		return errors.New("server: Serve before Listen")
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- s.hs.Serve(s.ln) }()
+
+	snapDone := make(chan struct{})
+	snapCtx, stopSnap := context.WithCancel(context.Background())
+	go func() {
+		defer close(snapDone)
+		s.snapshotLoop(snapCtx)
+	}()
+
+	select {
+	case err := <-serveErr:
+		stopSnap()
+		<-snapDone
+		return err
+	case <-ctx.Done():
+	}
+	shCtx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownGrace)
+	defer cancel()
+	err := s.hs.Shutdown(shCtx) // stops accepting, drains in-flight requests
+	stopSnap()
+	<-snapDone
+	if s.cfg.SnapshotPath != "" {
+		if serr := s.writeSnapshot(); serr != nil && err == nil {
+			err = serr
+		}
+	}
+	<-serveErr // Serve has returned ErrServerClosed by now
+	return err
+}
+
+// snapshotLoop periodically persists the index while serving.
+func (s *Server) snapshotLoop(ctx context.Context) {
+	if s.cfg.SnapshotPath == "" {
+		return
+	}
+	t := time.NewTicker(s.cfg.SnapshotEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if err := s.writeSnapshot(); err != nil {
+				fmt.Fprintf(os.Stderr, "server: snapshot: %v\n", err)
+			}
+		}
+	}
+}
+
+// writeSnapshot saves the index to SnapshotPath via tmp+rename, so readers of
+// the path never observe a torn file. Save holds the index read lock:
+// queries proceed concurrently, writers wait for the duration of the dump.
+func (s *Server) writeSnapshot() error {
+	start := time.Now()
+	dir := filepath.Dir(s.cfg.SnapshotPath)
+	tmp, err := os.CreateTemp(dir, ".nncell-snapshot-*")
+	if err != nil {
+		s.m.snapshotErrs.Add(1)
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after successful rename
+	if err := s.ix.Save(tmp); err != nil {
+		tmp.Close()
+		s.m.snapshotErrs.Add(1)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		s.m.snapshotErrs.Add(1)
+		return err
+	}
+	if err := os.Rename(tmp.Name(), s.cfg.SnapshotPath); err != nil {
+		s.m.snapshotErrs.Add(1)
+		return err
+	}
+	s.m.snapshots.Add(1)
+	s.m.lastSnapshotNanos.Store(time.Now().UnixNano())
+	s.m.snapshotSeconds.Observe(time.Since(start))
+	return nil
+}

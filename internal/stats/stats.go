@@ -116,6 +116,44 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	return h.max
 }
 
+// HistogramSnapshot is a consistent copy of a Histogram's state, taken under
+// the histogram's lock. Bucket i counts observations in [2^i, 2^(i+1)) ns
+// (bucket 0 additionally holds zero durations); BucketUpper converts an index
+// to its exclusive upper edge. The snapshot carries everything a cumulative
+// exposition format (e.g. Prometheus text histograms) needs: per-bucket
+// counts, total count, and the duration sum.
+type HistogramSnapshot struct {
+	Count    uint64
+	Sum      time.Duration
+	Min, Max time.Duration
+	Buckets  [64]uint64
+}
+
+// BucketUpper returns the exclusive upper edge of histogram bucket i. The
+// last bucket's edge saturates at the maximum Duration.
+func BucketUpper(i int) time.Duration {
+	if i < 0 {
+		return 0
+	}
+	if i >= 62 {
+		return time.Duration(math.MaxInt64)
+	}
+	return time.Duration(1) << uint(i+1)
+}
+
+// Snapshot returns a consistent copy of the histogram state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistogramSnapshot{
+		Count:   h.count,
+		Sum:     h.sum,
+		Min:     h.min,
+		Max:     h.max,
+		Buckets: h.buckets,
+	}
+}
+
 // String renders a one-line summary suitable for CLI output.
 func (h *Histogram) String() string {
 	return fmt.Sprintf("n=%d mean=%v p50=%v p90=%v p99=%v max=%v",

@@ -132,3 +132,59 @@ func TestSummaryConcurrent(t *testing.T) {
 		t.Errorf("summary = %d/%v/%v", s.Count(), s.Mean(), s.StdDev())
 	}
 }
+
+func TestHistogramSnapshot(t *testing.T) {
+	var h Histogram
+	durations := []time.Duration{0, 1, 3, 1024, 1500, time.Millisecond}
+	for _, d := range durations {
+		h.Observe(d)
+	}
+	s := h.Snapshot()
+	if s.Count != uint64(len(durations)) {
+		t.Fatalf("Count = %d, want %d", s.Count, len(durations))
+	}
+	var sum time.Duration
+	for _, d := range durations {
+		sum += d
+	}
+	if s.Sum != sum || s.Min != 0 || s.Max != time.Millisecond {
+		t.Errorf("Sum/Min/Max = %v/%v/%v", s.Sum, s.Min, s.Max)
+	}
+	// Bucket totals must agree with the count, and each observation must land
+	// in the bucket whose [2^i, 2^(i+1)) range covers it.
+	var total uint64
+	for i, c := range s.Buckets {
+		total += c
+		if c > 0 && i > 0 {
+			lo := time.Duration(1) << uint(i)
+			ok := false
+			for _, d := range durations {
+				if d >= lo && d < BucketUpper(i) {
+					ok = true
+				}
+			}
+			if !ok {
+				t.Errorf("bucket %d non-empty but no observation in [%v, %v)", i, lo, BucketUpper(i))
+			}
+		}
+	}
+	if total != s.Count {
+		t.Errorf("bucket total %d != count %d", total, s.Count)
+	}
+	// Zero and 1ns both land in bucket 0.
+	if s.Buckets[0] != 2 {
+		t.Errorf("bucket 0 = %d, want 2", s.Buckets[0])
+	}
+}
+
+func TestBucketUpper(t *testing.T) {
+	if BucketUpper(-1) != 0 {
+		t.Error("negative index")
+	}
+	if BucketUpper(0) != 2 || BucketUpper(9) != 1024 {
+		t.Errorf("BucketUpper(0)=%v BucketUpper(9)=%v", BucketUpper(0), BucketUpper(9))
+	}
+	if BucketUpper(63) != time.Duration(math.MaxInt64) {
+		t.Error("last bucket must saturate")
+	}
+}
