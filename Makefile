@@ -3,7 +3,7 @@
 # §"Construction hot path" and §"Query engine").
 GO ?= go
 
-.PHONY: check vet build test race serve-smoke bench-smoke bench-build bench-query bench
+.PHONY: check vet build test race serve-smoke bench-smoke bench-build bench-query bench-dynamic bench
 
 check: vet build test race serve-smoke bench-smoke
 
@@ -16,12 +16,13 @@ build:
 test:
 	$(GO) test ./...
 
-# The LP solver, the NN-cell builder, and the HTTP serving layer are the
-# concurrency-sensitive packages (per-worker solver state, parallel build,
-# query/update locking, pooled query contexts shared by batch workers, and
-# the admission limiter / graceful-drain machinery).
+# The LP solver, the NN-cell builder, the sharded index, and the HTTP serving
+# layer are the concurrency-sensitive packages (per-worker solver state,
+# parallel build and affected-cell recompute, per-shard locking with fan-out
+# reads, pooled query contexts shared by batch workers, and the admission
+# limiter / graceful-drain machinery).
 race:
-	$(GO) test -race ./internal/nncell/ ./internal/lp/ ./internal/server/
+	$(GO) test -race ./internal/nncell/ ./internal/lp/ ./internal/shard/ ./internal/server/
 
 # End-to-end serving lifecycle against the real binary: build an index, start
 # `nncell serve`, answer a query, scrape /metrics, SIGTERM, drained exit.
@@ -49,3 +50,8 @@ bench-build:
 # the QueryCtx engine over the seed path, work counters) tracked across PRs.
 bench-query:
 	$(GO) run ./cmd/experiments -bench-query BENCH_query.json
+
+# Regenerate the machine-readable dynamic-maintenance record: concurrent
+# insert throughput at shard counts 1/2/4/8 (d=8), tracked across PRs.
+bench-dynamic:
+	$(GO) run ./cmd/experiments -bench-dynamic BENCH_dynamic.json

@@ -10,6 +10,7 @@
 //	experiments -fig fig13 -small-n 800 -decompose 10 -csv
 //	experiments -bench-build BENCH_build.json
 //	experiments -bench-query BENCH_query.json
+//	experiments -bench-dynamic BENCH_dynamic.json
 package main
 
 import (
@@ -35,10 +36,13 @@ func main() {
 		decompose = flag.Int("decompose", 0, "fragment budget for decomposition figures (default 10)")
 		csv       = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 
-		benchBuild = flag.String("bench-build", "", "measure Build for all four algorithms and write the JSON report to this path (skips figures)")
-		benchQuery = flag.String("bench-query", "", "measure NearestNeighbor (QueryCtx engine vs seed path) for all four algorithms and write the JSON report to this path (skips figures)")
-		benchN     = flag.Int("bench-n", 0, "database size for -bench-build/-bench-query (default 250)")
-		benchDims  = flag.String("bench-dims", "", "comma-separated dimensions for -bench-build (default 4,8,16) and -bench-query (default 2,4,8,16)")
+		benchBuild   = flag.String("bench-build", "", "measure Build for all four algorithms and write the JSON report to this path (skips figures)")
+		benchQuery   = flag.String("bench-query", "", "measure NearestNeighbor (QueryCtx engine vs seed path) for all four algorithms and write the JSON report to this path (skips figures)")
+		benchDynamic = flag.String("bench-dynamic", "", "measure concurrent insert throughput at shard counts 1,2,4,8 and write the JSON report to this path (skips figures)")
+		benchN       = flag.Int("bench-n", 0, "database size for -bench-build/-bench-query (default 250) and -bench-dynamic (default 512)")
+		benchDims    = flag.String("bench-dims", "", "comma-separated dimensions for -bench-build (default 4,8,16) and -bench-query (default 2,4,8,16)")
+		benchShards  = flag.String("bench-shards", "", "comma-separated shard counts for -bench-dynamic (default 1,2,4,8)")
+		benchWorkers = flag.Int("bench-workers", 0, "concurrent insert workers for -bench-dynamic (default 4)")
 	)
 	flag.Parse()
 
@@ -79,6 +83,26 @@ func main() {
 				r.Algorithm, r.Dim, r.NsPerOp, r.QPS, r.SpeedupVsLegacy, r.CandidatesPerQuery, r.NodeAccessesPerQuery, r.AllocsPerOp)
 		}
 		fmt.Printf("wrote %s\n", *benchQuery)
+		return
+	}
+
+	if *benchDynamic != "" {
+		shards, err := parseInts(*benchShards)
+		if err != nil {
+			fatalf("bad -bench-shards: %v", err)
+		}
+		rep, err := experiments.BenchDynamic(*benchN, 8, shards, *benchWorkers)
+		if err != nil {
+			fatalf("bench-dynamic: %v", err)
+		}
+		if err := rep.WriteJSON(*benchDynamic); err != nil {
+			fatalf("bench-dynamic: %v", err)
+		}
+		for _, r := range rep.Results {
+			fmt.Printf("shards=%-2d d=%-3d %12.0f ns/insert %10.0f inserts/s %6.2fx vs 1 shard\n",
+				r.Shards, r.Dim, r.NsPerInsert, r.InsertsPerSec, r.SpeedupVs1Shard)
+		}
+		fmt.Printf("wrote %s\n", *benchDynamic)
 		return
 	}
 

@@ -12,12 +12,14 @@
 //	nncell -n 2000 -d 8 -save index.bin -queries 0
 //	nncell serve -addr :8080 -load index.bin
 //	nncell serve -addr :8080 -n 2000 -d 8    # build synthetic, then serve
+//	nncell serve -addr :8080 -n 2000 -d 8 -shards 4   # sharded writes
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"os/signal"
@@ -29,6 +31,7 @@ import (
 	"repro/internal/pager"
 	"repro/internal/scan"
 	"repro/internal/server"
+	"repro/internal/shard"
 	"repro/internal/stats"
 	"repro/internal/vec"
 	"repro/internal/voronoi"
@@ -192,7 +195,8 @@ func serveMain(args []string) {
 	fs := flag.NewFlagSet("nncell serve", flag.ExitOnError)
 	var (
 		addr        = fs.String("addr", ":8080", "listen address")
-		loadFile    = fs.String("load", "", "serve the index saved in this file")
+		loadFile    = fs.String("load", "", "serve the index saved in this file (single or sharded format, auto-detected)")
+		shards      = fs.Int("shards", 1, "partition the index into this many hash-routed shards (writes lock one shard; queries fan out)")
 		n           = fs.Int("n", 2000, "points for a synthetic index (when -load is absent)")
 		d           = fs.Int("d", 8, "dimensionality of the synthetic index")
 		data        = fs.String("data", "uniform", "synthetic dataset: uniform|grid|diagonal|clustered|fourier")
@@ -211,21 +215,46 @@ func serveMain(args []string) {
 	)
 	fs.Parse(args)
 
-	pg := pager.New(pager.Config{CachePages: *cache})
-	var ix *nncell.Index
+	var ix server.Index
 	if *loadFile != "" {
+		// The snapshot magic decides the loader: single-index (NNCELLv2)
+		// streams keep working unchanged, sharded (NNSHRDv1) streams restore
+		// the full partition, whose width is recorded in the stream (the
+		// -shards flag does not apply to loaded indexes).
 		f, err := os.Open(*loadFile)
 		if err != nil {
 			fatalf("%v", err)
 		}
-		start := time.Now()
-		ix, err = nncell.Load(f, pg)
-		f.Close()
-		if err != nil {
+		magic := make([]byte, len(shard.Magic))
+		if _, err := io.ReadFull(f, magic); err != nil {
+			fatalf("load: reading magic: %v", err)
+		}
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
 			fatalf("load: %v", err)
 		}
-		fmt.Printf("nncell: loaded %d points (d=%d, %d fragments) from %s in %v\n",
-			ix.Len(), ix.Dim(), ix.Fragments(), *loadFile, time.Since(start).Round(time.Millisecond))
+		start := time.Now()
+		if string(magic) == shard.Magic {
+			if *shards > 1 {
+				fmt.Printf("note: -shards is ignored with -load; the stream records the partition width\n")
+			}
+			sx, err := shard.Load(f, shard.Options{Pager: pager.Config{CachePages: *cache}})
+			f.Close()
+			if err != nil {
+				fatalf("load: %v", err)
+			}
+			fmt.Printf("nncell: loaded %d points (d=%d, %d fragments, %d shards) from %s in %v\n",
+				sx.Len(), sx.Dim(), sx.Fragments(), sx.NumShards(), *loadFile, time.Since(start).Round(time.Millisecond))
+			ix = sx
+		} else {
+			six, err := nncell.Load(f, pager.New(pager.Config{CachePages: *cache}))
+			f.Close()
+			if err != nil {
+				fatalf("load: %v", err)
+			}
+			fmt.Printf("nncell: loaded %d points (d=%d, %d fragments) from %s in %v\n",
+				six.Len(), six.Dim(), six.Fragments(), *loadFile, time.Since(start).Round(time.Millisecond))
+			ix = six
+		}
 	} else {
 		algorithm, err := parseAlg(*alg)
 		if err != nil {
@@ -237,16 +266,29 @@ func serveMain(args []string) {
 			fatalf("%v", err)
 		}
 		pts = dataset.Deduplicate(pts)
+		opts := nncell.Options{Algorithm: algorithm, Decompose: *decompose}
 		start := time.Now()
-		ix, err = nncell.Build(pts, vec.UnitCube(*d), pg, nncell.Options{
-			Algorithm: algorithm,
-			Decompose: *decompose,
-		})
-		if err != nil {
-			fatalf("build: %v", err)
+		if *shards > 1 {
+			sx, err := shard.Build(pts, vec.UnitCube(*d), shard.Options{
+				Shards: *shards,
+				Pager:  pager.Config{CachePages: *cache},
+				Index:  opts,
+			})
+			if err != nil {
+				fatalf("build: %v", err)
+			}
+			fmt.Printf("nncell: built synthetic sharded index, %d %s points (d=%d) across %d shards in %v\n",
+				len(pts), *data, *d, sx.NumShards(), time.Since(start).Round(time.Millisecond))
+			ix = sx
+		} else {
+			six, err := nncell.Build(pts, vec.UnitCube(*d), pager.New(pager.Config{CachePages: *cache}), opts)
+			if err != nil {
+				fatalf("build: %v", err)
+			}
+			fmt.Printf("nncell: built synthetic index, %d %s points (d=%d) in %v\n",
+				len(pts), *data, *d, time.Since(start).Round(time.Millisecond))
+			ix = six
 		}
-		fmt.Printf("nncell: built synthetic index, %d %s points (d=%d) in %v\n",
-			len(pts), *data, *d, time.Since(start).Round(time.Millisecond))
 	}
 
 	srv := server.New(ix, server.Config{

@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/nncell"
+	"repro/internal/pager"
+	"repro/internal/shard"
+	"repro/internal/vec"
+)
+
+// DynamicBenchResult is one measured shard count of the dynamic-maintenance
+// benchmark: the wall-clock throughput of a concurrent insert stream into a
+// sharded index. Two effects drive the scaling: routed writes to different
+// shards take disjoint locks (true write parallelism), and each shard holds
+// 1/S of the points, so the affected-cell set and every LP in it are
+// smaller.
+type DynamicBenchResult struct {
+	Shards        int     `json:"shards"`
+	Dim           int     `json:"dim"`
+	BaseN         int     `json:"base_n"`
+	Inserts       int     `json:"inserts"`
+	Workers       int     `json:"workers"`
+	NsPerInsert   float64 `json:"ns_per_insert"`
+	InsertsPerSec float64 `json:"inserts_per_sec"`
+	// SpeedupVs1Shard = NsPerInsert(S=1) / NsPerInsert(this S).
+	SpeedupVs1Shard float64 `json:"speedup_vs_1_shard"`
+}
+
+// DynamicBenchReport is the machine-readable dynamic-maintenance record
+// emitted by `cmd/experiments -bench-dynamic` (BENCH_dynamic.json), tracked
+// across PRs alongside BENCH_build.json and BENCH_query.json.
+type DynamicBenchReport struct {
+	BaseN   int                  `json:"base_n"`
+	Dim     int                  `json:"dim"`
+	Inserts int                  `json:"inserts"`
+	Workers int                  `json:"workers"`
+	Go      string               `json:"go"`
+	Results []DynamicBenchResult `json:"results"`
+}
+
+// BenchDynamic measures concurrent insert throughput at each shard count:
+// for every S it builds a fresh sharded index over the same baseN base
+// points, then times `workers` goroutines draining the same insert stream
+// through Sharded.Insert. The base and inserted point sets are identical
+// across shard counts, so the only variable is the partition width.
+func BenchDynamic(baseN, d int, shardCounts []int, workers int) (*DynamicBenchReport, error) {
+	if baseN <= 0 {
+		baseN = 512
+	}
+	if d <= 0 {
+		d = 8
+	}
+	if len(shardCounts) == 0 {
+		shardCounts = []int{1, 2, 4, 8}
+	}
+	if workers <= 0 {
+		workers = 4
+	}
+	const inserts = 96
+	rng := rand.New(rand.NewSource(1998))
+	pts := dataset.Deduplicate(dataset.Uniform(rng, baseN+inserts, d))
+	if len(pts) < baseN+inserts {
+		return nil, fmt.Errorf("bench-dynamic: only %d unique points for base %d + inserts %d", len(pts), baseN, inserts)
+	}
+	base, extra := pts[:baseN], pts[baseN:baseN+inserts]
+
+	rep := &DynamicBenchReport{BaseN: baseN, Dim: d, Inserts: inserts, Workers: workers, Go: runtime.Version()}
+	var oneShardNs float64
+	for _, S := range shardCounts {
+		sx, err := shard.Build(base, vec.UnitCube(d), shard.Options{
+			Shards: S,
+			Pager:  pager.Config{CachePages: 64},
+			Index:  nncell.Options{Algorithm: nncell.Sphere},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench-dynamic: shards=%d: %w", S, err)
+		}
+		var (
+			next   atomic.Int64
+			wg     sync.WaitGroup
+			errMu  sync.Mutex
+			runErr error
+		)
+		start := time.Now()
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(extra) {
+						return
+					}
+					if _, err := sx.Insert(extra[i]); err != nil {
+						errMu.Lock()
+						if runErr == nil {
+							runErr = err
+						}
+						errMu.Unlock()
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		if runErr != nil {
+			return nil, fmt.Errorf("bench-dynamic: shards=%d: %w", S, runErr)
+		}
+		if got := sx.Len(); got != baseN+inserts {
+			return nil, fmt.Errorf("bench-dynamic: shards=%d: %d points after inserts, want %d", S, got, baseN+inserts)
+		}
+		nsPer := float64(elapsed.Nanoseconds()) / float64(inserts)
+		res := DynamicBenchResult{
+			Shards:        S,
+			Dim:           d,
+			BaseN:         baseN,
+			Inserts:       inserts,
+			Workers:       workers,
+			NsPerInsert:   nsPer,
+			InsertsPerSec: 1e9 / nsPer,
+		}
+		if S == 1 {
+			oneShardNs = nsPer
+		}
+		if oneShardNs > 0 {
+			res.SpeedupVs1Shard = oneShardNs / nsPer
+		}
+		rep.Results = append(rep.Results, res)
+	}
+	return rep, nil
+}
+
+// WriteJSON writes the report to path, indented for diff-friendly tracking.
+func (r *DynamicBenchReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -33,6 +33,11 @@ func newCellCtx(d int) *cellCtx {
 // never mutates the index, so the builder may call it from many goroutines,
 // each with its own cellCtx.
 func (ix *Index) approximateCell(cc *cellCtx, i int) ([]vec.Rect, error) {
+	if ix.testHookApprox != nil {
+		if err := ix.testHookApprox(i); err != nil {
+			return nil, err
+		}
+	}
 	p := ix.points[i]
 	if p == nil {
 		return nil, fmt.Errorf("nncell: approximating tombstoned point %d", i)

@@ -3,10 +3,21 @@ package nncell
 import (
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/vec"
 	"repro/internal/xtree"
 )
+
+// Dynamic maintenance follows a stage-then-commit protocol so that Insert and
+// Delete are atomic with respect to failure: every linear program the
+// operation needs is solved before the first committed structure (the cell
+// tree, the stored fragment sets, the tombstone state) is touched. The only
+// provisional mutations made before the solves are the point-table appends of
+// Insert and the point-table removal of Delete — both are required for the
+// solves to see the post-operation point set, and both are rolled back
+// exactly on error, so CheckInvariants holds on every exit path.
 
 // Insert adds a new point and returns its id, maintaining the precomputed
 // solution space per §2 of the paper: existing NN-cells can only shrink, and
@@ -15,6 +26,11 @@ import (
 // intersecting the new cell's outer MBR is recomputed — so the index stays
 // exact (the paper uses a sphere query for the same purpose; a rectangle
 // query against the new cell's MBR is the tighter form of the same idea).
+//
+// The affected-cell recomputation runs on the same worker pool pattern as
+// Build; all recomputed fragment sets are staged and committed only after
+// every LP solve has succeeded. On any error the index is left exactly as it
+// was before the call.
 func (ix *Index) Insert(p vec.Point) (int, error) {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
@@ -24,56 +40,124 @@ func (ix *Index) Insert(p vec.Point) (int, error) {
 	if !ix.bounds.Contains(p) {
 		return 0, fmt.Errorf("nncell: point %v outside data space %v", p, ix.bounds)
 	}
-	for _, q := range ix.points {
-		if q != nil && q.Equal(p) {
-			return 0, fmt.Errorf("nncell: duplicate point %v", p)
-		}
+	if ix.hasDuplicate(p) {
+		return 0, fmt.Errorf("nncell: duplicate point %v", p)
 	}
+
+	// Stage the point itself: the approximation LPs must see the
+	// post-insert point set (the data index drives constraint selection,
+	// alive drives the pruning termination check). Everything appended here
+	// is rolled back if any solve fails.
 	id := len(ix.points)
 	ix.points = append(ix.points, p.Clone())
 	ix.ptsFlat = append(ix.ptsFlat, p...)
 	ix.cells = append(ix.cells, nil)
 	ix.alive++
 	ix.dataIdx.Insert(vec.PointRect(p), int64(id))
+	rollback := func() {
+		if !ix.dataIdx.Delete(vec.PointRect(p), int64(id)) {
+			panic(fmt.Sprintf("nncell: staged point %d missing from data index during rollback", id))
+		}
+		ix.points = ix.points[:id]
+		ix.ptsFlat = ix.ptsFlat[:id*ix.dim]
+		ix.cells = ix.cells[:id]
+		ix.alive--
+	}
 
-	cc := newCellCtx(ix.dim) // reused across the new cell and all affected ones
+	cc := newCellCtx(ix.dim)
 	frags, err := ix.approximateCell(cc, id)
 	if err != nil {
+		rollback()
 		return 0, fmt.Errorf("nncell: approximating new cell: %w", err)
 	}
-	ix.storeCell(id, frags)
 
 	// Recompute every cell whose approximation intersects the new cell's
-	// outer MBR (superset of the truly shrinking cells).
+	// outer MBR (superset of the truly shrinking cells) into a staged set;
+	// nothing committed is touched until all of them succeed.
 	outer := outerMBR(frags, ix.dim)
 	affected := ix.intersectingCells(outer, id)
-	for _, aid := range affected {
-		if err := ix.recomputeCell(cc, aid); err != nil {
-			return 0, fmt.Errorf("nncell: updating cell %d: %w", aid, err)
-		}
+	staged, err := ix.recomputeCells(cc, affected)
+	if err != nil {
+		rollback()
+		return 0, err
 	}
+
+	// Commit: every LP has succeeded, so the remaining work is pure
+	// tree/bookkeeping mutation that cannot fail.
+	ix.storeCell(id, frags)
+	ix.commitStaged(affected, staged)
 	return id, nil
+}
+
+// hasDuplicate reports whether a live point with exactly p's float64 bit
+// patterns is already stored, via a point query against the data index —
+// the same byte-exact dup-key discipline Build uses, at O(log n) page
+// touches instead of the previous O(n) scan under the exclusive lock.
+func (ix *Index) hasDuplicate(p vec.Point) bool {
+	dup := false
+	ix.dataIdx.Search(vec.PointRect(p), func(e xtree.Entry) bool {
+		q := ix.points[int(e.Data)]
+		if q == nil {
+			return true
+		}
+		for j := range p {
+			if math.Float64bits(q[j]) != math.Float64bits(p[j]) {
+				return true
+			}
+		}
+		dup = true
+		return false
+	})
+	return dup
 }
 
 // Delete removes the point with the given id. The cells gaining its
 // territory are its Voronoi neighbors; every cell whose approximation
 // intersects the deleted cell's approximation is recomputed, a sound
 // superset of those neighbors.
+//
+// Like Insert, Delete stages: the point is hidden from the approximation
+// inputs (data index, point table), all affected cells are recomputed into
+// staged fragment sets, and only when every solve has succeeded are the
+// tree and tombstone mutations committed. On error the point is restored
+// and the index is unchanged.
 func (ix *Index) Delete(id int) error {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
 	if id < 0 || id >= len(ix.points) || ix.points[id] == nil {
 		return fmt.Errorf("nncell: delete of unknown id %d", id)
 	}
-	old := ix.cells[id]
 	p := ix.points[id]
 
+	// Stage the removal: the recomputation LPs must see the post-delete
+	// point set, but the committed structures (tree, cells, mirror row)
+	// stay untouched until commit.
 	if !ix.dataIdx.Delete(vec.PointRect(p), int64(id)) {
 		return fmt.Errorf("nncell: id %d missing from data index", id)
 	}
-	ix.removeFragments(id)
 	ix.points[id] = nil
-	ix.cells[id] = nil
+	ix.alive--
+
+	var (
+		affected []int
+		staged   [][]vec.Rect
+	)
+	if ix.alive > 0 {
+		outer := outerMBR(ix.cells[id], ix.dim)
+		affected = ix.intersectingCells(outer, id)
+		var err error
+		staged, err = ix.recomputeCells(newCellCtx(ix.dim), affected)
+		if err != nil {
+			// Roll back the staged removal; nothing committed changed.
+			ix.points[id] = p
+			ix.alive++
+			ix.dataIdx.Insert(vec.PointRect(p), int64(id))
+			return err
+		}
+	}
+
+	// Commit.
+	ix.removeFragments(id)
 	// Poison the SoA mirror row so that any read path that would resolve the
 	// tombstoned id through stale coordinates yields NaN distances (loudly
 	// wrong) instead of a silently plausible neighbor. Every query path
@@ -82,32 +166,87 @@ func (ix *Index) Delete(id int) error {
 	for j := id * ix.dim; j < (id+1)*ix.dim; j++ {
 		ix.ptsFlat[j] = math.NaN()
 	}
-	ix.alive--
-
-	if ix.alive == 0 {
-		return nil
-	}
-	outer := outerMBR(old, ix.dim)
-	affected := ix.intersectingCells(outer, id)
-	cc := newCellCtx(ix.dim)
-	for _, aid := range affected {
-		if err := ix.recomputeCell(cc, aid); err != nil {
-			return fmt.Errorf("nncell: updating cell %d: %w", aid, err)
-		}
-	}
+	ix.commitStaged(affected, staged)
 	return nil
 }
 
-// recomputeCell refreshes one cell's stored approximation.
-func (ix *Index) recomputeCell(cc *cellCtx, id int) error {
-	frags, err := ix.approximateCell(cc, id)
-	if err != nil {
-		return err
+// minParallelRecompute is the affected-set size below which the per-cell LP
+// work does not amortize worker startup; smaller batches recompute serially
+// on the caller's cellCtx.
+const minParallelRecompute = 4
+
+// recomputeCells approximates every listed cell against the current point
+// set and returns the staged fragment sets, positionally aligned with ids.
+// The committed index is not touched: callers swap the results in via
+// commitStaged only after the whole batch has succeeded. Large batches run
+// on a worker pool of per-worker cellCtxs — the same pattern Build uses —
+// with a shared fail-fast flag so one failed solve stops the others early.
+// Callers hold ix.mu (write side).
+func (ix *Index) recomputeCells(cc *cellCtx, ids []int) ([][]vec.Rect, error) {
+	staged := make([][]vec.Rect, len(ids))
+	workers := ix.opts.Workers
+	if workers > len(ids) {
+		workers = len(ids)
 	}
-	ix.removeFragments(id)
-	ix.storeCell(id, frags)
-	ix.stats.updates.Add(1)
-	return nil
+	if workers <= 1 || len(ids) < minParallelRecompute {
+		for k, aid := range ids {
+			frags, err := ix.approximateCell(cc, aid)
+			if err != nil {
+				return nil, fmt.Errorf("nncell: updating cell %d: %w", aid, err)
+			}
+			staged[k] = frags
+		}
+		return staged, nil
+	}
+	var (
+		next     atomic.Int64
+		failed   atomic.Bool
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			wcc := newCellCtx(ix.dim)
+			for {
+				if failed.Load() {
+					return
+				}
+				k := int(next.Add(1)) - 1
+				if k >= len(ids) {
+					return
+				}
+				frags, err := ix.approximateCell(wcc, ids[k])
+				if err != nil {
+					failed.Store(true)
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("nncell: updating cell %d: %w", ids[k], err)
+					}
+					errMu.Unlock()
+					return
+				}
+				staged[k] = frags
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return staged, nil
+}
+
+// commitStaged swaps the staged fragment sets in: pure tree mutation, no
+// solves, cannot fail. Callers hold ix.mu (write side).
+func (ix *Index) commitStaged(ids []int, staged [][]vec.Rect) {
+	for k, aid := range ids {
+		ix.removeFragments(aid)
+		ix.storeCell(aid, staged[k])
+		ix.stats.updates.Add(1)
+	}
 }
 
 // storeCell records the fragments of a cell and inserts them into the tree.

@@ -1,6 +1,7 @@
 package nncell
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -228,5 +229,116 @@ func TestMixedDynamicWorkload(t *testing.T) {
 	}
 	if err := ix.Tree().CheckInvariants(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// Failure injection via the approximateCell test hook: a failing solve at any
+// stage of Insert must leave the index byte-for-byte as it was — the staged
+// point rolled back, no fragments touched, every invariant intact.
+func TestInsertRollbackOnFailure(t *testing.T) {
+	errBoom := errors.New("boom")
+	for _, tc := range []struct {
+		name string
+		opts Options
+		// failAffected selects where the solve fails: the new point's own
+		// cell, or one of the affected cells recomputed afterwards.
+		failAffected bool
+	}{
+		{"new cell", Options{Algorithm: Correct}, false},
+		{"affected serial", Options{Algorithm: Correct, Workers: 1}, true},
+		{"affected parallel", Options{Algorithm: Correct, Workers: 8}, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			pts := uniquePoints(t, dataset.NameUniform, 71, 81, 2)
+			ix := mustBuild(t, pts[:80], tc.opts)
+			wantLen, wantFrags := ix.Len(), ix.Fragments()
+			newID := len(pts) - 1 // next id: 80 points, no tombstones
+
+			ix.testHookApprox = func(id int) error {
+				if (id == 80) != tc.failAffected {
+					return errBoom
+				}
+				return nil
+			}
+			_, err := ix.Insert(pts[80])
+			ix.testHookApprox = nil
+			if !errors.Is(err, errBoom) {
+				t.Fatalf("Insert err = %v, want injected failure", err)
+			}
+			if ix.Len() != wantLen || ix.Fragments() != wantFrags {
+				t.Fatalf("after failed insert: Len=%d Fragments=%d, want %d/%d",
+					ix.Len(), ix.Fragments(), wantLen, wantFrags)
+			}
+			if _, ok := ix.Point(newID); ok {
+				t.Error("rolled-back point still visible")
+			}
+			if err := ix.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			// Queries remain exact over the pre-insert point set...
+			oracle := scan.New(pts[:80], vec.Euclidean{}, newTestPager())
+			rng := rand.New(rand.NewSource(72))
+			for trial := 0; trial < 25; trial++ {
+				q := randQuery(rng, 2)
+				_, wantD2 := oracle.Nearest(q)
+				got, err := ix.NearestNeighbor(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if math.Abs(got.Dist2-wantD2) > 1e-12 {
+					t.Fatalf("trial %d: got %v want %v", trial, got.Dist2, wantD2)
+				}
+			}
+			// ...and the same insert succeeds once the failure clears.
+			id, err := ix.Insert(pts[80])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if id != newID {
+				t.Errorf("retried insert got id %d, want %d", id, newID)
+			}
+			if err := ix.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// A failing recompute during Delete must restore the point: no tombstone, no
+// fragment changes, queries still see it.
+func TestDeleteRollbackOnFailure(t *testing.T) {
+	errBoom := errors.New("boom")
+	for _, workers := range []int{1, 8} {
+		pts := uniquePoints(t, dataset.NameUniform, 73, 80, 2)
+		ix := mustBuild(t, pts, Options{Algorithm: Correct, Workers: workers})
+		wantLen, wantFrags := ix.Len(), ix.Fragments()
+
+		ix.testHookApprox = func(id int) error { return errBoom }
+		err := ix.Delete(17)
+		ix.testHookApprox = nil
+		if !errors.Is(err, errBoom) {
+			t.Fatalf("workers=%d: Delete err = %v, want injected failure", workers, err)
+		}
+		if ix.Len() != wantLen || ix.Fragments() != wantFrags {
+			t.Fatalf("workers=%d: after failed delete: Len=%d Fragments=%d, want %d/%d",
+				workers, ix.Len(), ix.Fragments(), wantLen, wantFrags)
+		}
+		if p, ok := ix.Point(17); !ok || !p.Equal(pts[17]) {
+			t.Fatalf("workers=%d: point 17 = %v, %v after rolled-back delete", workers, p, ok)
+		}
+		if err := ix.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ix.NearestNeighbor(pts[17])
+		if err != nil || got.ID != 17 || got.Dist2 != 0 {
+			t.Fatalf("workers=%d: NN at restored point = %v, %v", workers, got, err)
+		}
+		// The delete goes through once the failure clears.
+		if err := ix.Delete(17); err != nil {
+			t.Fatal(err)
+		}
+		if err := ix.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
 	}
 }

@@ -176,6 +176,11 @@ type Index struct {
 		updates                              atomic.Uint64
 		pruneVisited                         atomic.Uint64
 	}
+
+	// testHookApprox, when non-nil, intercepts approximateCell before any LP
+	// runs. Set only by failure-injection tests to exercise the dynamic
+	// path's staged-commit rollback; nil in all production configurations.
+	testHookApprox func(id int) error
 }
 
 // ErrEmpty is returned when building over an empty point set.
@@ -283,6 +288,29 @@ func Build(points []vec.Point, bounds vec.Rect, pg *pager.Pager, opts Options) (
 	return ix, nil
 }
 
+// NewEmpty constructs an index over zero points. Build rejects empty point
+// sets (the paper's construction needs at least one cell), but the dynamic
+// path handles an empty index fine — the first Insert's cell owns the whole
+// data space — and the sharded layer needs exactly that: a shard whose hash
+// partition starts empty must still accept routed inserts later.
+func NewEmpty(d int, bounds vec.Rect, pg *pager.Pager, opts Options) (*Index, error) {
+	if d <= 0 {
+		return nil, fmt.Errorf("nncell: invalid dimensionality %d", d)
+	}
+	if bounds.Dim() != d {
+		return nil, fmt.Errorf("nncell: bounds dim %d, want %d", bounds.Dim(), d)
+	}
+	opts.normalize()
+	return &Index{
+		dim:     d,
+		opts:    opts,
+		pg:      pg,
+		bounds:  bounds.Clone(),
+		tree:    xtree.New(d, pg, opts.XTree),
+		dataIdx: xtree.New(d, pg, opts.XTree),
+	}, nil
+}
+
 // Dim returns the dimensionality.
 func (ix *Index) Dim() int { return ix.dim }
 
@@ -331,6 +359,16 @@ func (ix *Index) Tree() *xtree.Tree { return ix.tree }
 // (the serving layer's /metrics endpoint, experiment harnesses) can report
 // page-access counters and hit ratios alongside the index stats.
 func (ix *Index) Pager() *pager.Pager { return ix.pg }
+
+// PagerStats returns the page-access counters of the backing pager. The
+// serving layer reads pager metrics through this method (rather than Pager)
+// so a sharded index can report the aggregate over its per-shard pagers
+// behind the same interface.
+func (ix *Index) PagerStats() pager.Stats { return ix.pg.Stats() }
+
+// PagerLivePages returns the allocated, unfreed page count of the backing
+// pager (the index's size on simulated disk).
+func (ix *Index) PagerLivePages() int { return ix.pg.LivePages() }
 
 // Stats returns a snapshot of the counters.
 func (ix *Index) Stats() Stats {

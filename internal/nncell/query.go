@@ -275,6 +275,7 @@ func (ix *Index) NearestNeighborBatch(qs []vec.Point, workers int) ([]Neighbor, 
 	out := make([]Neighbor, len(qs))
 	errs := make([]error, workers)
 	var next atomic.Int64
+	var failed atomic.Bool // fail-fast: one worker's error cancels the batch
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -283,6 +284,12 @@ func (ix *Index) NearestNeighborBatch(qs []vec.Point, workers int) ([]Neighbor, 
 			qc := ix.acquireCtx()
 			defer ix.releaseCtx(qc)
 			for {
+				// The whole batch fails on the first error, so once any
+				// worker has failed the remaining results would be thrown
+				// away; stop computing them.
+				if failed.Load() {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= len(qs) {
 					return
@@ -292,6 +299,7 @@ func (ix *Index) NearestNeighborBatch(qs []vec.Point, workers int) ([]Neighbor, 
 				ix.mu.RUnlock()
 				if err != nil {
 					errs[slot] = err
+					failed.Store(true)
 					return
 				}
 				out[i] = nb

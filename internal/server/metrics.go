@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/shard"
 	"repro/internal/stats"
 )
 
@@ -144,7 +145,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# TYPE nncell_index_updates_total counter\n")
 	fmt.Fprintf(w, "nncell_index_updates_total %d\n", ist.Updates)
 
-	pst := s.ix.Pager().Stats()
+	pst := s.ix.PagerStats()
 	fmt.Fprintf(w, "# HELP nncell_pager_accesses_total Logical page reads.\n")
 	fmt.Fprintf(w, "# TYPE nncell_pager_accesses_total counter\n")
 	fmt.Fprintf(w, "nncell_pager_accesses_total %d\n", pst.Accesses)
@@ -163,7 +164,33 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "nncell_pager_hit_ratio %g\n", ratio)
 	fmt.Fprintf(w, "# HELP nncell_pager_live_pages Allocated, unfreed pages (index size on disk).\n")
 	fmt.Fprintf(w, "# TYPE nncell_pager_live_pages gauge\n")
-	fmt.Fprintf(w, "nncell_pager_live_pages %d\n", s.ix.Pager().LivePages())
+	fmt.Fprintf(w, "nncell_pager_live_pages %d\n", s.ix.PagerLivePages())
+
+	// Per-shard breakdown when the served index is sharded: routing skew
+	// and per-shard maintenance load are invisible in the aggregates above.
+	if ss, ok := s.ix.(interface{ ShardStats() []shard.ShardStat }); ok {
+		sts := ss.ShardStats()
+		fmt.Fprintf(w, "# HELP nncell_shard_points Live points per shard.\n")
+		fmt.Fprintf(w, "# TYPE nncell_shard_points gauge\n")
+		for i, st := range sts {
+			fmt.Fprintf(w, "nncell_shard_points{shard=\"%d\"} %d\n", i, st.Points)
+		}
+		fmt.Fprintf(w, "# HELP nncell_shard_fragments Cell-approximation fragments per shard.\n")
+		fmt.Fprintf(w, "# TYPE nncell_shard_fragments gauge\n")
+		for i, st := range sts {
+			fmt.Fprintf(w, "nncell_shard_fragments{shard=\"%d\"} %d\n", i, st.Fragments)
+		}
+		fmt.Fprintf(w, "# HELP nncell_shard_queries_total Queries answered per shard.\n")
+		fmt.Fprintf(w, "# TYPE nncell_shard_queries_total counter\n")
+		for i, st := range sts {
+			fmt.Fprintf(w, "nncell_shard_queries_total{shard=\"%d\"} %d\n", i, st.Queries)
+		}
+		fmt.Fprintf(w, "# HELP nncell_shard_updates_total Affected-cell recomputations per shard.\n")
+		fmt.Fprintf(w, "# TYPE nncell_shard_updates_total counter\n")
+		for i, st := range sts {
+			fmt.Fprintf(w, "nncell_shard_updates_total{shard=\"%d\"} %d\n", i, st.Updates)
+		}
+	}
 
 	fmt.Fprintf(w, "# HELP nncell_snapshots_total Periodic index snapshots written.\n")
 	fmt.Fprintf(w, "# TYPE nncell_snapshots_total counter\n")

@@ -15,6 +15,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -24,7 +25,28 @@ import (
 	"time"
 
 	"repro/internal/nncell"
+	"repro/internal/pager"
+	"repro/internal/vec"
 )
+
+// Index is the serving abstraction: everything the handlers, the metrics
+// surface and the snapshot loop need from an index. Both nncell.Index (one
+// lock, one pager) and shard.Sharded (hash-partitioned, fan-out reads,
+// per-shard locking) satisfy it, so the same serving layer fronts either.
+type Index interface {
+	Dim() int
+	Len() int
+	Fragments() int
+	Point(id int) (vec.Point, bool)
+	NearestNeighbor(q vec.Point) (nncell.Neighbor, error)
+	KNearest(q vec.Point, k int) ([]nncell.Neighbor, error)
+	CandidatesAppend(dst []int, q vec.Point) []int
+	NearestNeighborBatch(qs []vec.Point, workers int) ([]nncell.Neighbor, error)
+	Stats() nncell.Stats
+	Save(w io.Writer) error
+	PagerStats() pager.Stats
+	PagerLivePages() int
+}
 
 // Config tunes the serving layer. The zero value serves with the documented
 // defaults.
@@ -80,7 +102,7 @@ func (c *Config) normalize() {
 // Server serves one nncell.Index. Construct with New, then either mount
 // Handler on an existing mux or call Listen followed by Serve.
 type Server struct {
-	ix    *nncell.Index
+	ix    Index
 	cfg   Config
 	m     *metrics
 	sem   chan struct{}
@@ -91,9 +113,9 @@ type Server struct {
 }
 
 // New builds a Server around an index. The index must outlive the server;
-// queries hold its read lock, so Insert/Delete/Save on the same index remain
-// safe while serving.
-func New(ix *nncell.Index, cfg Config) *Server {
+// queries hold its read lock(s), so Insert/Delete/Save on the same index
+// remain safe while serving.
+func New(ix Index, cfg Config) *Server {
 	cfg.normalize()
 	s := &Server{
 		ix:  ix,

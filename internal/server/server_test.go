@@ -21,6 +21,7 @@ import (
 	"repro/internal/nncell"
 	"repro/internal/pager"
 	"repro/internal/scan"
+	"repro/internal/shard"
 	"repro/internal/vec"
 )
 
@@ -549,5 +550,68 @@ func TestPeriodicSnapshot(t *testing.T) {
 	}
 	if loaded.Len() != ix.Len() {
 		t.Fatalf("snapshot has %d points, index %d", loaded.Len(), ix.Len())
+	}
+}
+
+// The serving layer must front a sharded index transparently: queries exact,
+// /metrics carrying the per-shard breakdown the single index lacks.
+func TestServeShardedIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	pts := dataset.Deduplicate(dataset.Uniform(rng, 160, testDim))
+	sx, err := shard.Build(pts, vec.UnitCube(testDim), shard.Options{
+		Shards: 4,
+		Pager:  pager.Config{CachePages: 64},
+		Index:  nncell.Options{Algorithm: nncell.Sphere},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(sx, Config{})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	oracle := scan.New(pts, vec.Euclidean{}, pager.New(pager.Config{}))
+	for trial := 0; trial < 25; trial++ {
+		q := make(vec.Point, testDim)
+		for j := range q {
+			q[j] = rng.Float64()
+		}
+		resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/nn", map[string]interface{}{"point": q})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("trial %d: status %d: %s", trial, resp.StatusCode, body)
+		}
+		var out struct {
+			ID    int     `json:"id"`
+			Dist2 float64 `json:"dist2"`
+		}
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatal(err)
+		}
+		_, wantD2 := oracle.Nearest(q)
+		if math.Abs(out.Dist2-wantD2) > 1e-12 {
+			t.Fatalf("trial %d: dist2 %v, want %v", trial, out.Dist2, wantD2)
+		}
+		p, ok := sx.Point(out.ID)
+		if !ok || (vec.Euclidean{}).Dist2(p, q) != out.Dist2 {
+			t.Fatalf("trial %d: returned id %d does not resolve to the answer", trial, out.ID)
+		}
+	}
+
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	for _, want := range []string{
+		`nncell_shard_points{shard="0"}`,
+		`nncell_shard_points{shard="3"}`,
+		`nncell_shard_queries_total{shard="0"}`,
+		"nncell_index_points 160",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
 	}
 }

@@ -1,0 +1,67 @@
+package shard
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/nncell"
+	"repro/internal/pager"
+	"repro/internal/vec"
+)
+
+// syntheticPoint derives a unique in-bounds point from a counter via a
+// 64-bit mix, so concurrent benchmark goroutines can generate collision-free
+// insert streams without coordination beyond one atomic increment.
+func syntheticPoint(n uint64, d int) vec.Point {
+	p := make(vec.Point, d)
+	x := n*0x9E3779B97F4A7C15 + 0x1234567
+	for j := range p {
+		x ^= x >> 33
+		x *= 0xFF51AFD7ED558CCD
+		x ^= x >> 33
+		p[j] = float64(x>>11) / float64(1<<53)
+		x += 0x9E3779B97F4A7C15
+	}
+	return p
+}
+
+// BenchmarkDynamicInsert measures the concurrent insert/delete steady state
+// at several partition widths: every iteration inserts a fresh unique point
+// and deletes it again, so the index size stays at the base N while the
+// write lock pattern (one global lock vs one lock per shard) dominates.
+func BenchmarkDynamicInsert(b *testing.B) {
+	const d = 8
+	for _, S := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", S), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(7))
+			pts := dataset.Deduplicate(dataset.Uniform(rng, 512, d))
+			s, err := Build(pts, vec.UnitCube(d), Options{
+				Shards: S,
+				Pager:  pager.Config{CachePages: 64},
+				Index:  nncell.Options{Algorithm: nncell.Sphere},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var ctr atomic.Uint64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					p := syntheticPoint(ctr.Add(1), d)
+					gid, err := s.Insert(p)
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					if err := s.Delete(gid); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}

@@ -1,0 +1,191 @@
+package shard
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/nncell"
+	"repro/internal/pager"
+)
+
+// Magic identifies a sharded snapshot stream; callers that accept both
+// formats (e.g. `nncell serve -load`) sniff it against the single-index
+// magic before choosing a loader.
+const Magic = "NNSHRDv1"
+
+// maxShardCount bounds the header-declared shard count; it exists to reject
+// absurd inputs early, and Load never trusts it for allocation beyond the
+// slice headers.
+const maxShardCount = 1 << 16
+
+// maxShardBlob bounds one shard's declared blob length (the per-shard v2
+// format's own caps bound the real payload far below this).
+const maxShardBlob = 1 << 36
+
+// The sharded on-disk format wraps the single-index v2 format:
+//
+//	magic   [8]byte  "NNSHRDv1"
+//	shards  uint32   (partition width S)
+//	per shard: present uint8; if present: blobLen uint64, then blobLen bytes
+//	           of one NNCELLv2 stream (self-checksummed)
+//
+// Empty shards (no live points) are written as absent — the v2 format cannot
+// represent an empty index — and are recreated empty on load. Integrity is
+// per shard: every present blob carries the v2 CRC, and Load additionally
+// revalidates the routing invariant over all loaded points, so a stream
+// whose blobs were shuffled between shard slots is rejected.
+//
+// Save snapshots each shard under that shard's read lock; concurrent writers
+// to *other* shards proceed, so the file is a point-in-time image per shard,
+// not across shards. That is the same guarantee the serving layer's periodic
+// snapshot had for a single index (writers wait, readers proceed), widened
+// shard-wise; a cross-shard-atomic snapshot would require pausing all
+// writers for the full dump, which the serving path deliberately avoids.
+func (s *Sharded) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	le := binary.LittleEndian
+	if _, err := bw.WriteString(Magic); err != nil {
+		return fmt.Errorf("shard: save: %w", err)
+	}
+	if err := binary.Write(bw, le, uint32(len(s.shards))); err != nil {
+		return fmt.Errorf("shard: save: %w", err)
+	}
+	var buf bytes.Buffer
+	for i, ix := range s.shards {
+		buf.Reset()
+		// A shard with no live points is absent in the stream. Note the
+		// Len/Save pair is not atomic against a concurrent insert into this
+		// shard; the snapshot is simply taken per shard at slightly
+		// different instants, as documented above.
+		if ix.Len() == 0 {
+			if err := binary.Write(bw, le, uint8(0)); err != nil {
+				return fmt.Errorf("shard: save: %w", err)
+			}
+			continue
+		}
+		if err := ix.Save(&buf); err != nil {
+			return fmt.Errorf("shard: save shard %d: %w", i, err)
+		}
+		if err := binary.Write(bw, le, uint8(1)); err != nil {
+			return fmt.Errorf("shard: save: %w", err)
+		}
+		if err := binary.Write(bw, le, uint64(buf.Len())); err != nil {
+			return fmt.Errorf("shard: save: %w", err)
+		}
+		if _, err := bw.Write(buf.Bytes()); err != nil {
+			return fmt.Errorf("shard: save: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reconstructs a sharded index from a stream written by Save. Each
+// shard gets a fresh pager configured by opts.Pager; opts.Shards is ignored
+// (the stream records the partition width, which the global-id mapping
+// depends on). Every present shard blob is fully validated by the v2
+// loader; Load additionally checks that all shards agree on dimensionality
+// and data space, and that every point routes to the shard that stores it.
+func Load(r io.Reader, opts Options) (*Sharded, error) {
+	br := bufio.NewReader(r)
+	le := binary.LittleEndian
+
+	magic := make([]byte, len(Magic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("shard: load: %w", err)
+	}
+	if string(magic) != Magic {
+		return nil, fmt.Errorf("shard: load: bad magic %q", magic)
+	}
+	var count uint32
+	if err := binary.Read(br, le, &count); err != nil {
+		return nil, fmt.Errorf("shard: load: %w", err)
+	}
+	if count == 0 || count > maxShardCount {
+		return nil, fmt.Errorf("shard: load: implausible shard count %d", count)
+	}
+	sh := &Sharded{
+		shards: make([]*nncell.Index, count),
+		pagers: make([]*pager.Pager, count),
+	}
+	for i := range sh.shards {
+		var present uint8
+		if err := binary.Read(br, le, &present); err != nil {
+			return nil, fmt.Errorf("shard: load: shard %d: %w", i, err)
+		}
+		switch present {
+		case 0:
+			continue // filled in below, once dim/bounds are known
+		case 1:
+		default:
+			return nil, fmt.Errorf("shard: load: corrupt presence flag %d for shard %d", present, i)
+		}
+		var blobLen uint64
+		if err := binary.Read(br, le, &blobLen); err != nil {
+			return nil, fmt.Errorf("shard: load: shard %d: %w", i, err)
+		}
+		if blobLen == 0 || blobLen > maxShardBlob {
+			return nil, fmt.Errorf("shard: load: implausible blob length %d for shard %d", blobLen, i)
+		}
+		pg := pager.New(opts.Pager)
+		// The limited reader makes the inner loader's EOF checks line up
+		// with the declared blob boundary: a blob that is shorter or longer
+		// than declared fails the v2 loader's own trailing-garbage /
+		// truncation validation.
+		ix, err := nncell.Load(io.LimitReader(br, int64(blobLen)), pg)
+		if err != nil {
+			return nil, fmt.Errorf("shard: load: shard %d: %w", i, err)
+		}
+		sh.shards[i] = ix
+		sh.pagers[i] = pg
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("shard: load: trailing garbage after last shard")
+	}
+
+	// Cross-shard validation: some shard must be non-empty, and all present
+	// shards must describe the same space.
+	for i, ix := range sh.shards {
+		if ix == nil {
+			continue
+		}
+		if sh.dim == 0 {
+			sh.dim = ix.Dim()
+			sh.bounds = ix.Bounds()
+		}
+		if ix.Dim() != sh.dim {
+			return nil, fmt.Errorf("shard: load: shard %d has dim %d, shard stream established %d", i, ix.Dim(), sh.dim)
+		}
+		if !ix.Bounds().Equal(sh.bounds) {
+			return nil, fmt.Errorf("shard: load: shard %d data space %v disagrees with %v", i, ix.Bounds(), sh.bounds)
+		}
+	}
+	if sh.dim == 0 {
+		return nil, nncell.ErrEmpty
+	}
+	for i := range sh.shards {
+		if sh.shards[i] != nil {
+			continue
+		}
+		pg := pager.New(opts.Pager)
+		ix, err := nncell.NewEmpty(sh.dim, sh.bounds, pg, opts.Index)
+		if err != nil {
+			return nil, fmt.Errorf("shard: load: shard %d: %w", i, err)
+		}
+		sh.shards[i] = ix
+		sh.pagers[i] = pg
+	}
+	// Routing invariant: a stream whose blobs were rearranged (or written
+	// with a different hash) would break routed lookups silently; reject it.
+	for i, ix := range sh.shards {
+		for _, local := range ix.IDs() {
+			p, _ := ix.Point(local)
+			if want := route(p, len(sh.shards)); want != i {
+				return nil, fmt.Errorf("shard: load: shard %d holds point %v that routes to shard %d", i, p, want)
+			}
+		}
+	}
+	return sh, nil
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package shard
+
+// raceEnabled reports that the race detector is active: its instrumentation
+// perturbs allocation counts, so alloc-sensitive assertions are skipped.
+const raceEnabled = true

@@ -1,0 +1,462 @@
+// Package shard partitions an NN-cell index into S independent nncell.Index
+// shards so that dynamic maintenance parallelizes across the partition: each
+// shard owns its own RWMutex, its own X-trees and its own pager, so routed
+// Insert/Delete streams to different shards proceed concurrently instead of
+// serializing behind one index-wide write lock, while queries fan out over
+// all shards.
+//
+// Routing is by a deterministic hash of the point's float64 bit patterns
+// (FNV-1a), so a given point always lives in exactly one shard — across
+// processes and across save/load — which keeps the byte-exact duplicate
+// discipline shard-local and makes the partition stable without any shared
+// routing state.
+//
+// Soundness of the fan-out reads: the NN-cells of a shard are the
+// first-order Voronoi cells of that shard's point subset, so each shard's
+// NearestNeighbor answer is the exact nearest neighbor within its subset
+// (Lemma 2 per shard). The point set is the disjoint union of the subsets,
+// and min over subsets of exact per-subset minima is the exact global
+// minimum — no false dismissals. The same union argument covers Candidates
+// (union of per-shard candidate sets is a superset of the global candidates
+// that still contains the true NN) and KNearest (the global k smallest
+// distances are a subset of the union of per-shard k smallest).
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/nncell"
+	"repro/internal/pager"
+	"repro/internal/vec"
+)
+
+// Options configure a sharded index.
+type Options struct {
+	// Shards is the partition width S. Values < 1 mean 1 (a single shard,
+	// behaviourally identical to a bare nncell.Index).
+	Shards int
+	// Pager configures each shard's private pager (per-shard caches avoid
+	// the single pager lock becoming the cross-shard bottleneck).
+	Pager pager.Config
+	// Index passes construction options through to every shard.
+	Index nncell.Options
+}
+
+func (o *Options) normalize() {
+	if o.Shards < 1 {
+		o.Shards = 1
+	}
+}
+
+// Sharded is a hash-partitioned NN-cell index. The shards slice is immutable
+// after construction; all synchronization lives inside the per-shard
+// indexes, so Sharded itself needs no lock and adds no cross-shard
+// serialization to any operation.
+//
+// Global point ids interleave the per-shard local ids: gid = local·S + shard.
+// The mapping is stable under inserts (locals only grow) and survives
+// save/load of the whole sharded index.
+type Sharded struct {
+	dim    int
+	bounds vec.Rect
+	shards []*nncell.Index
+	pagers []*pager.Pager
+}
+
+// route returns the shard owning point p: FNV-1a over the raw float64 bit
+// patterns, mod S. Hashing bits (not values) matches the byte-exact
+// duplicate-key discipline of nncell — two points with equal coordinates
+// always share bit patterns unless they differ in a bit-level way (e.g.
+// -0.0 vs 0.0), in which case they are distinct keys everywhere.
+func route(p vec.Point, shards int) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, v := range p {
+		b := math.Float64bits(v)
+		for s := 0; s < 64; s += 8 {
+			h ^= (b >> s) & 0xff
+			h *= prime64
+		}
+	}
+	return int(h % uint64(shards))
+}
+
+// Build constructs a sharded index over points: the point set is hash-
+// partitioned, non-empty partitions are bulk-built (each build parallelizes
+// internally, exactly as a single index would), and empty partitions become
+// empty shards ready to accept routed inserts.
+func Build(points []vec.Point, bounds vec.Rect, opts Options) (*Sharded, error) {
+	opts.normalize()
+	if len(points) == 0 {
+		return nil, nncell.ErrEmpty
+	}
+	d := points[0].Dim()
+	if bounds.Dim() != d {
+		return nil, fmt.Errorf("shard: bounds dim %d, points dim %d", bounds.Dim(), d)
+	}
+	parts := make([][]vec.Point, opts.Shards)
+	for i, p := range points {
+		if p.Dim() != d {
+			return nil, fmt.Errorf("shard: point %d has dim %d, want %d", i, p.Dim(), d)
+		}
+		s := route(p, opts.Shards)
+		parts[s] = append(parts[s], p)
+	}
+	sh := &Sharded{
+		dim:    d,
+		bounds: bounds.Clone(),
+		shards: make([]*nncell.Index, opts.Shards),
+		pagers: make([]*pager.Pager, opts.Shards),
+	}
+	for i, part := range parts {
+		pg := pager.New(opts.Pager)
+		var (
+			ix  *nncell.Index
+			err error
+		)
+		if len(part) == 0 {
+			ix, err = nncell.NewEmpty(d, bounds, pg, opts.Index)
+		} else {
+			ix, err = nncell.Build(part, bounds, pg, opts.Index)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("shard: building shard %d: %w", i, err)
+		}
+		sh.shards[i] = ix
+		sh.pagers[i] = pg
+	}
+	return sh, nil
+}
+
+// globalID interleaves (shard, local) into the global id space.
+func (s *Sharded) globalID(shard, local int) int { return local*len(s.shards) + shard }
+
+// splitID is the inverse of globalID.
+func (s *Sharded) splitID(gid int) (shard, local int) {
+	return gid % len(s.shards), gid / len(s.shards)
+}
+
+// Dim returns the dimensionality.
+func (s *Sharded) Dim() int { return s.dim }
+
+// Bounds returns the data space (shared by all shards).
+func (s *Sharded) Bounds() vec.Rect { return s.bounds.Clone() }
+
+// NumShards returns the partition width S.
+func (s *Sharded) NumShards() int { return len(s.shards) }
+
+// Shard exposes one shard's index (read-only use: tests, metrics).
+func (s *Sharded) Shard(i int) *nncell.Index { return s.shards[i] }
+
+// Len returns the number of live points across all shards.
+func (s *Sharded) Len() int {
+	n := 0
+	for _, ix := range s.shards {
+		n += ix.Len()
+	}
+	return n
+}
+
+// Fragments returns the total number of stored approximation rectangles.
+func (s *Sharded) Fragments() int {
+	n := 0
+	for _, ix := range s.shards {
+		n += ix.Fragments()
+	}
+	return n
+}
+
+// Point returns the point with the given global id, or ok=false.
+func (s *Sharded) Point(gid int) (vec.Point, bool) {
+	if gid < 0 {
+		return nil, false
+	}
+	shard, local := s.splitID(gid)
+	return s.shards[shard].Point(local)
+}
+
+// IDs returns the global ids of all live points in increasing order.
+func (s *Sharded) IDs() []int {
+	var out []int
+	for i, ix := range s.shards {
+		for _, local := range ix.IDs() {
+			out = append(out, s.globalID(i, local))
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Insert routes the point to its shard and inserts it there, taking only
+// that shard's write lock: inserts to different shards, and queries against
+// them, proceed in parallel. Returns the new global id.
+func (s *Sharded) Insert(p vec.Point) (int, error) {
+	if p.Dim() != s.dim {
+		return 0, fmt.Errorf("shard: insert of %d-dim point into %d-dim index", p.Dim(), s.dim)
+	}
+	shard := route(p, len(s.shards))
+	local, err := s.shards[shard].Insert(p)
+	if err != nil {
+		return 0, err
+	}
+	return s.globalID(shard, local), nil
+}
+
+// Delete removes the point with the given global id, taking only its
+// shard's write lock.
+func (s *Sharded) Delete(gid int) error {
+	if gid < 0 {
+		return fmt.Errorf("shard: delete of unknown id %d", gid)
+	}
+	shard, local := s.splitID(gid)
+	return s.shards[shard].Delete(local)
+}
+
+// NearestNeighbor fans the query out over all shards and returns the minimum
+// — exact by the union argument in the package comment. The fan-out is a
+// sequential loop: each per-shard query is allocation-free on its pooled
+// QueryCtx, so the warm sharded query stays at 0 allocs/op, and concurrency
+// comes from running many queries at once (server handlers, Batch), not from
+// splitting one query.
+func (s *Sharded) NearestNeighbor(q vec.Point) (nncell.Neighbor, error) {
+	best := nncell.Neighbor{ID: -1, Dist2: math.Inf(1)}
+	for i, ix := range s.shards {
+		nb, err := ix.NearestNeighbor(q)
+		if err != nil {
+			if errors.Is(err, nncell.ErrEmpty) {
+				continue
+			}
+			return nncell.Neighbor{}, err
+		}
+		gid := s.globalID(i, nb.ID)
+		if nb.Dist2 < best.Dist2 || (nb.Dist2 == best.Dist2 && gid < best.ID) {
+			best = nncell.Neighbor{ID: gid, Dist2: nb.Dist2}
+		}
+	}
+	if best.ID < 0 {
+		return nncell.Neighbor{}, nncell.ErrEmpty
+	}
+	return best, nil
+}
+
+// Candidates returns the distinct global candidate ids for q (union over
+// shards).
+func (s *Sharded) Candidates(q vec.Point) []int { return s.CandidatesAppend(nil, q) }
+
+// CandidatesAppend appends the union of the per-shard candidate sets to dst,
+// with local ids rewritten to global ids in place. Shards hold disjoint
+// point sets, so the union needs no cross-shard dedup; with a reused dst the
+// warm path is allocation-free.
+func (s *Sharded) CandidatesAppend(dst []int, q vec.Point) []int {
+	for i, ix := range s.shards {
+		start := len(dst)
+		dst = ix.CandidatesAppend(dst, q)
+		for j := start; j < len(dst); j++ {
+			dst[j] = s.globalID(i, dst[j])
+		}
+	}
+	return dst
+}
+
+// KNearest merges the per-shard k-NN lists into the global k nearest: each
+// shard returns its k closest (exact within its subset, sorted ascending),
+// and a k-way merge over the S sorted lists yields the global result —
+// the true k nearest are guaranteed to appear among the S·k candidates.
+func (s *Sharded) KNearest(q vec.Point, k int) ([]nncell.Neighbor, error) {
+	if k <= 0 {
+		return nil, nil
+	}
+	lists := make([][]nncell.Neighbor, 0, len(s.shards))
+	any := false
+	for i, ix := range s.shards {
+		nbs, err := ix.KNearest(q, k)
+		if err != nil {
+			if errors.Is(err, nncell.ErrEmpty) {
+				continue
+			}
+			return nil, err
+		}
+		any = true
+		for j := range nbs {
+			nbs[j].ID = s.globalID(i, nbs[j].ID)
+		}
+		lists = append(lists, nbs)
+	}
+	if !any {
+		return nil, nncell.ErrEmpty
+	}
+	out := make([]nncell.Neighbor, 0, k)
+	pos := make([]int, len(lists))
+	for len(out) < k {
+		bi := -1
+		for li, l := range lists {
+			if pos[li] >= len(l) {
+				continue
+			}
+			if bi < 0 {
+				bi = li
+				continue
+			}
+			a, b := l[pos[li]], lists[bi][pos[bi]]
+			if a.Dist2 < b.Dist2 || (a.Dist2 == b.Dist2 && a.ID < b.ID) {
+				bi = li
+			}
+		}
+		if bi < 0 {
+			break // fewer than k live points in total
+		}
+		out = append(out, lists[bi][pos[bi]])
+		pos[bi]++
+	}
+	return out, nil
+}
+
+// NearestNeighborBatch answers many NN queries concurrently with the given
+// parallelism (0 = one worker per shard, capped at the batch size). Results
+// are positionally aligned with the queries; one query's error fails the
+// whole batch fast, as in the single-index batch path.
+func (s *Sharded) NearestNeighborBatch(qs []vec.Point, workers int) ([]nncell.Neighbor, error) {
+	if workers <= 0 {
+		workers = len(s.shards)
+	}
+	if workers > len(qs) {
+		workers = len(qs)
+	}
+	out := make([]nncell.Neighbor, len(qs))
+	errs := make([]error, workers)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			for {
+				if failed.Load() {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= len(qs) {
+					return
+				}
+				nb, err := s.NearestNeighbor(qs[i])
+				if err != nil {
+					errs[slot] = err
+					failed.Store(true)
+					return
+				}
+				out[i] = nb
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Stats returns the sum of the per-shard stats snapshots.
+func (s *Sharded) Stats() nncell.Stats {
+	var out nncell.Stats
+	for _, ix := range s.shards {
+		st := ix.Stats()
+		out.LPSolves += st.LPSolves
+		out.LPPivots += st.LPPivots
+		out.ConstraintPoints += st.ConstraintPoints
+		out.Fragments += st.Fragments
+		out.Queries += st.Queries
+		out.Candidates += st.Candidates
+		out.Fallbacks += st.Fallbacks
+		out.Updates += st.Updates
+		out.PruneVisited += st.PruneVisited
+	}
+	return out
+}
+
+// ShardStat is one shard's slice of the observability surface, exposed per
+// shard in /metrics so routing skew and per-shard maintenance load are
+// visible in production.
+type ShardStat struct {
+	Points        int
+	Fragments     uint64
+	Queries       uint64
+	Updates       uint64
+	PagerAccesses uint64
+	PagerHits     uint64
+}
+
+// ShardStats returns one entry per shard, indexed by shard number.
+func (s *Sharded) ShardStats() []ShardStat {
+	out := make([]ShardStat, len(s.shards))
+	for i, ix := range s.shards {
+		st := ix.Stats()
+		pst := s.pagers[i].Stats()
+		out[i] = ShardStat{
+			Points:        ix.Len(),
+			Fragments:     st.Fragments,
+			Queries:       st.Queries,
+			Updates:       st.Updates,
+			PagerAccesses: pst.Accesses,
+			PagerHits:     pst.Hits,
+		}
+	}
+	return out
+}
+
+// PagerStats returns the aggregate page-access counters over all per-shard
+// pagers.
+func (s *Sharded) PagerStats() pager.Stats {
+	var out pager.Stats
+	for _, pg := range s.pagers {
+		st := pg.Stats()
+		out.Accesses += st.Accesses
+		out.Hits += st.Hits
+		out.Misses += st.Misses
+		out.Writes += st.Writes
+		out.Allocs += st.Allocs
+		out.Frees += st.Frees
+	}
+	return out
+}
+
+// PagerLivePages returns the total allocated, unfreed pages across shards.
+func (s *Sharded) PagerLivePages() int {
+	n := 0
+	for _, pg := range s.pagers {
+		n += pg.LivePages()
+	}
+	return n
+}
+
+// CheckInvariants verifies every shard's internal consistency plus the
+// sharding invariant itself: each live point must route to the shard that
+// stores it (otherwise duplicate detection and routed deletes would look in
+// the wrong shard).
+func (s *Sharded) CheckInvariants() error {
+	for i, ix := range s.shards {
+		if err := ix.CheckInvariants(); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		for _, local := range ix.IDs() {
+			p, ok := ix.Point(local)
+			if !ok {
+				return fmt.Errorf("shard %d: listed id %d has no point", i, local)
+			}
+			if want := route(p, len(s.shards)); want != i {
+				return fmt.Errorf("shard %d holds point %v that routes to shard %d", i, p, want)
+			}
+		}
+	}
+	return nil
+}
