@@ -3,9 +3,9 @@
 # §"Construction hot path" and §"Query engine").
 GO ?= go
 
-.PHONY: check vet build test race serve-smoke bench-smoke bench-build bench-query bench-dynamic bench
+.PHONY: check vet build test race serve-smoke crash-test bench-smoke bench-build bench-query bench-dynamic bench
 
-check: vet build test race serve-smoke bench-smoke
+check: vet build test race serve-smoke crash-test bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -22,12 +22,22 @@ test:
 # reads, pooled query contexts shared by batch workers, and the admission
 # limiter / graceful-drain machinery).
 race:
-	$(GO) test -race ./internal/nncell/ ./internal/lp/ ./internal/shard/ ./internal/server/
+	$(GO) test -race ./internal/nncell/ ./internal/lp/ ./internal/shard/ ./internal/server/ ./internal/wal/ ./internal/iofault/
 
 # End-to-end serving lifecycle against the real binary: build an index, start
 # `nncell serve`, answer a query, scrape /metrics, SIGTERM, drained exit.
 serve-smoke:
 	$(GO) test -run 'TestServeSmoke' -count 1 ./cmd/nncell/
+
+# The durability gate: the injected-fault matrix (torn WAL tails at every
+# byte offset, failed writes/fsyncs, replay-vs-oracle equivalence, the
+# rotate→snapshot→compact protocol) plus the SIGKILL-and-recover lifecycle
+# of the real binary, serial and sharded.
+crash-test:
+	$(GO) vet ./internal/wal/ ./internal/iofault/
+	$(GO) test -count 1 ./internal/iofault/ ./internal/wal/
+	$(GO) test -count 1 -run 'WAL|Crash|Torn|Recover|Compaction|Readiness|Snapshot' ./internal/nncell/ ./internal/shard/ ./internal/server/
+	$(GO) test -count 1 -run 'TestServeWALRecovery|TestServeLoadConflictFlags' ./cmd/nncell/
 
 # One iteration of the hot-path benchmarks: proves the 0 allocs/op contracts
 # of the warm LP loop and the warm query engine, and that construction and

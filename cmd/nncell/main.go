@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/iofault"
 	"repro/internal/nncell"
 	"repro/internal/pager"
 	"repro/internal/scan"
@@ -35,6 +36,7 @@ import (
 	"repro/internal/stats"
 	"repro/internal/vec"
 	"repro/internal/voronoi"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -126,14 +128,9 @@ func main() {
 		buildTime = time.Since(start)
 	}
 	if *saveFile != "" {
-		f, err := os.Create(*saveFile)
-		if err != nil {
-			fatalf("%v", err)
-		}
-		if err := ix.Save(f); err != nil {
-			fatalf("save: %v", err)
-		}
-		if err := f.Close(); err != nil {
+		// tmp+rename+parent-fsync: a crash mid-save never leaves a torn file
+		// at the target path, and the completed rename survives power loss.
+		if err := iofault.WriteAtomic(iofault.OS{}, *saveFile, ix.Save); err != nil {
 			fatalf("save: %v", err)
 		}
 		st, _ := os.Stat(*saveFile)
@@ -210,17 +207,65 @@ func serveMain(args []string) {
 		maxInflight = fs.Int("max-inflight", 0, "concurrent query limit (0 = 4×GOMAXPROCS)")
 		maxBatch    = fs.Int("max-batch", 1024, "points per batch request")
 		maxK        = fs.Int("max-k", 256, "largest accepted k")
-		snapshot    = fs.String("snapshot", "", "periodically save the serving index to this file")
+		snapshot    = fs.String("snapshot", "", "periodically save the serving index to this file (with -wal-dir each snapshot also compacts the log)")
 		snapEvery   = fs.Duration("snapshot-every", 5*time.Minute, "snapshot interval")
+		walDir      = fs.String("wal-dir", "", "write-ahead-log directory: replay it on startup, then log every insert/delete")
+		fsyncMode   = fs.String("fsync", "interval", "wal fsync policy: always|interval|never")
+		fsyncEvery  = fs.Duration("fsync-interval", 100*time.Millisecond, "fsync cadence for -fsync interval")
 	)
 	fs.Parse(args)
+	explicit := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+
+	var policy wal.Policy
+	if *walDir != "" {
+		var err error
+		if policy, err = wal.ParsePolicy(*fsyncMode); err != nil {
+			fatalf("%v", err)
+		}
+	}
+
+	// The server starts BEFORE the index exists: liveness and /metrics come
+	// up immediately, readiness reports the loading/replaying phase, and
+	// query traffic is shed with 503 until recovery completes.
+	srv := server.New(nil, server.Config{
+		RequestTimeout: *timeout,
+		ShutdownGrace:  *grace,
+		MaxBodyBytes:   *maxBody,
+		MaxInFlight:    *maxInflight,
+		MaxBatch:       *maxBatch,
+		MaxK:           *maxK,
+		SnapshotPath:   *snapshot,
+		SnapshotEvery:  *snapEvery,
+	})
+	if err := srv.Listen(*addr); err != nil {
+		fatalf("%v", err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ctx) }()
+	fmt.Printf("nncell: listening on http://%s (not ready: loading index)\n", srv.Addr())
 
 	var ix server.Index
 	if *loadFile != "" {
+		// Synthetic-build flags describe an index this run will never build.
+		// Parameters the snapshot also records (-d, -shards) FAIL FAST on
+		// conflict — serving a 7-d snapshot to a client that asked for -d 3
+		// is an operational error, not a note. The rest are merely ignored.
+		var ignored []string
+		for _, name := range []string{"n", "data", "alg", "decompose", "seed"} {
+			if explicit[name] {
+				ignored = append(ignored, "-"+name)
+			}
+		}
+		if len(ignored) > 0 {
+			fmt.Printf("note: %v describe a synthetic build and are ignored with -load\n", ignored)
+		}
+		srv.SetNotReady("loading snapshot")
 		// The snapshot magic decides the loader: single-index (NNCELLv2)
 		// streams keep working unchanged, sharded (NNSHRDv1) streams restore
-		// the full partition, whose width is recorded in the stream (the
-		// -shards flag does not apply to loaded indexes).
+		// the full partition, whose width is recorded in the stream.
 		f, err := os.Open(*loadFile)
 		if err != nil {
 			fatalf("%v", err)
@@ -234,13 +279,16 @@ func serveMain(args []string) {
 		}
 		start := time.Now()
 		if string(magic) == shard.Magic {
-			if *shards > 1 {
-				fmt.Printf("note: -shards is ignored with -load; the stream records the partition width\n")
-			}
 			sx, err := shard.Load(f, shard.Options{Pager: pager.Config{CachePages: *cache}})
 			f.Close()
 			if err != nil {
 				fatalf("load: %v", err)
+			}
+			if explicit["shards"] && *shards != sx.NumShards() {
+				fatalf("load: -shards %d conflicts with the snapshot's %d shards (drop the flag, or rebuild)", *shards, sx.NumShards())
+			}
+			if explicit["d"] && *d != sx.Dim() {
+				fatalf("load: -d %d conflicts with the snapshot's dimensionality %d", *d, sx.Dim())
 			}
 			fmt.Printf("nncell: loaded %d points (d=%d, %d fragments, %d shards) from %s in %v\n",
 				sx.Len(), sx.Dim(), sx.Fragments(), sx.NumShards(), *loadFile, time.Since(start).Round(time.Millisecond))
@@ -251,11 +299,18 @@ func serveMain(args []string) {
 			if err != nil {
 				fatalf("load: %v", err)
 			}
+			if explicit["shards"] && *shards != 1 {
+				fatalf("load: -shards %d conflicts with a single-index snapshot (it has no partition)", *shards)
+			}
+			if explicit["d"] && *d != six.Dim() {
+				fatalf("load: -d %d conflicts with the snapshot's dimensionality %d", *d, six.Dim())
+			}
 			fmt.Printf("nncell: loaded %d points (d=%d, %d fragments) from %s in %v\n",
 				six.Len(), six.Dim(), six.Fragments(), *loadFile, time.Since(start).Round(time.Millisecond))
 			ix = six
 		}
 	} else {
+		srv.SetNotReady("building index")
 		algorithm, err := parseAlg(*alg)
 		if err != nil {
 			fatalf("%v", err)
@@ -291,24 +346,57 @@ func serveMain(args []string) {
 		}
 	}
 
-	srv := server.New(ix, server.Config{
-		RequestTimeout: *timeout,
-		ShutdownGrace:  *grace,
-		MaxBodyBytes:   *maxBody,
-		MaxInFlight:    *maxInflight,
-		MaxBatch:       *maxBatch,
-		MaxK:           *maxK,
-		SnapshotPath:   *snapshot,
-		SnapshotEvery:  *snapEvery,
-	})
-	if err := srv.Listen(*addr); err != nil {
-		fatalf("%v", err)
+	// Durability: replay first (recovering the acknowledged mutations of the
+	// previous lifetime), then open fresh segments and attach, so every
+	// mutation served below is logged before it is acknowledged.
+	var closeWAL func() error
+	if *walDir != "" {
+		srv.SetNotReady("replaying wal")
+		walOpts := wal.Options{Policy: policy, Interval: *fsyncEvery}
+		var rs nncell.RecoveryStats
+		switch x := ix.(type) {
+		case *shard.Sharded:
+			var err error
+			if rs, err = x.Recover(nil, *walDir); err != nil {
+				fatalf("wal replay: %v", err)
+			}
+			if err := x.OpenWALs(*walDir, walOpts); err != nil {
+				fatalf("%v", err)
+			}
+			closeWAL = x.CloseWALs
+		case *nncell.Index:
+			var err error
+			if rs, err = x.Recover(nil, *walDir); err != nil {
+				fatalf("wal replay: %v", err)
+			}
+			l, err := wal.Open(*walDir, walOpts)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			x.AttachWAL(l)
+			closeWAL = func() error { x.AttachWAL(nil); return l.Close() }
+		default:
+			fatalf("wal: index type %T does not support durability", ix)
+		}
+		fmt.Printf("nncell: wal replay: %d records from %d segments (%d applied, %d stale, %d torn) in %v\n",
+			rs.Records, rs.Segments, rs.Applied, rs.Stale, rs.TornSegments, rs.Duration.Round(time.Millisecond))
+		srv.SetRecovery(server.RecoveryInfo{
+			SnapshotLoaded: *loadFile != "",
+			WALDir:         *walDir,
+			Stats:          rs,
+		})
 	}
+
+	srv.SetIndex(ix)
 	fmt.Printf("nncell: serving on http://%s\n", srv.Addr())
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-	if err := srv.Serve(ctx); err != nil {
+	err := <-serveDone
+	if closeWAL != nil {
+		if cerr := closeWAL(); cerr != nil && err == nil {
+			err = fmt.Errorf("closing wal: %w", cerr)
+		}
+	}
+	if err != nil {
 		fatalf("serve: %v", err)
 	}
 	fmt.Println("nncell: shutdown complete (in-flight requests drained)")

@@ -1,0 +1,222 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// serveProc is a running `nncell serve` child with its banner parsed.
+type serveProc struct {
+	cmd     *exec.Cmd
+	baseURL string
+	lines   chan string
+}
+
+// startServe launches the binary with `serve` + args and waits for the
+// "serving on" banner (which the command prints only after the index is
+// loaded, the WAL replayed, and readiness flipped).
+func startServe(t *testing.T, args ...string) *serveProc {
+	t.Helper()
+	cmd := exec.Command(binPath, append([]string{"serve"}, args...)...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cmd.Process.Kill(); cmd.Wait() })
+
+	sc := bufio.NewScanner(stdout)
+	lines := make(chan string)
+	go func() {
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+	deadline := time.After(15 * time.Second)
+	var baseURL string
+	for baseURL == "" {
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				t.Fatal("serve exited before printing its address")
+			}
+			if i := strings.Index(line, "serving on "); i >= 0 {
+				baseURL = strings.TrimSpace(line[i+len("serving on "):])
+			}
+		case <-deadline:
+			t.Fatal("timed out waiting for serve banner")
+		}
+	}
+	return &serveProc{cmd: cmd, baseURL: baseURL, lines: lines}
+}
+
+func (p *serveProc) post(t *testing.T, path string, body interface{}, out interface{}) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(p.baseURL+path, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST %s: status %d\n%s", path, resp.StatusCode, data)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("POST %s: %v\n%s", path, err, data)
+		}
+	}
+}
+
+func (p *serveProc) get(t *testing.T, path string, out interface{}) {
+	t.Helper()
+	resp, err := http.Get(p.baseURL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d\n%s", path, resp.StatusCode, data)
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		t.Fatalf("GET %s: %v\n%s", path, err, data)
+	}
+}
+
+type healthzResponse struct {
+	Status   string `json:"status"`
+	Points   int    `json:"points"`
+	Recovery *struct {
+		Applied uint64 `json:"applied"`
+		Stale   uint64 `json:"stale"`
+	} `json:"recovery"`
+}
+
+// TestServeWALRecovery is the whole durability story end to end, for both
+// the single index and the sharded one: serve with a WAL, mutate over HTTP,
+// SIGKILL the process (no shutdown path runs), restart with the same flags,
+// and observe every acknowledged mutation — and nothing else — come back.
+func TestServeWALRecovery(t *testing.T) {
+	for _, shards := range []int{1, 2} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			walDir := filepath.Join(t.TempDir(), "wal")
+			args := []string{"-addr", "127.0.0.1:0", "-n", "60", "-d", "3", "-seed", "5",
+				"-shards", fmt.Sprint(shards), "-wal-dir", walDir, "-fsync", "always"}
+
+			p := startServe(t, args...)
+			var before healthzResponse
+			p.get(t, "/healthz", &before)
+
+			// Three inserts and one delete, all acknowledged over HTTP.
+			targets := [][]float64{
+				{0.123456, 0.654321, 0.111111},
+				{0.222222, 0.333333, 0.444444},
+				{0.987654, 0.456789, 0.777777},
+			}
+			ids := make([]int, len(targets))
+			for i, pt := range targets {
+				var ins struct {
+					ID int `json:"id"`
+				}
+				p.post(t, "/v1/insert", map[string]interface{}{"point": pt}, &ins)
+				ids[i] = ins.ID
+			}
+			p.post(t, "/v1/delete", map[string]int{"id": ids[1]}, nil)
+
+			// Crash: no drain, no final snapshot, no WAL close.
+			if err := p.cmd.Process.Kill(); err != nil {
+				t.Fatal(err)
+			}
+			p.cmd.Wait()
+
+			// Restart rebuilds the same synthetic index (same seed) and
+			// replays the log over it.
+			p2 := startServe(t, args...)
+			var after healthzResponse
+			p2.get(t, "/healthz", &after)
+			if want := before.Points + len(targets) - 1; after.Points != want {
+				t.Fatalf("recovered %d points, want %d", after.Points, want)
+			}
+			if after.Recovery == nil {
+				t.Fatal("healthz has no recovery report after replay")
+			}
+			if want := uint64(len(targets) + 1); after.Recovery.Applied != want {
+				t.Fatalf("replay applied %d records, want %d", after.Recovery.Applied, want)
+			}
+
+			// Surviving inserts answer exactly; the deleted one is gone.
+			for i, pt := range targets {
+				var nn struct {
+					ID    int     `json:"id"`
+					Dist2 float64 `json:"dist2"`
+				}
+				p2.post(t, "/v1/nn", map[string]interface{}{"point": pt}, &nn)
+				if i == 1 {
+					if nn.Dist2 == 0 {
+						t.Fatalf("deleted point %v still present after recovery", pt)
+					}
+					continue
+				}
+				if nn.ID != ids[i] || nn.Dist2 != 0 {
+					t.Fatalf("point %v recovered as id %d dist2 %v, want id %d dist2 0",
+						pt, nn.ID, nn.Dist2, ids[i])
+				}
+			}
+
+			// And the recovered process shuts down cleanly.
+			if err := p2.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+				t.Fatal(err)
+			}
+			for range p2.lines {
+			}
+			if err := p2.cmd.Wait(); err != nil {
+				t.Fatalf("recovered serve exited uncleanly: %v", err)
+			}
+		})
+	}
+}
+
+// A loaded snapshot's recorded geometry wins over build flags — and when
+// the operator EXPLICITLY asks for a conflicting -d or -shards, serve must
+// refuse to start rather than silently serve something else.
+func TestServeLoadConflictFlags(t *testing.T) {
+	idx := filepath.Join(t.TempDir(), "idx.bin")
+	if out, err := run(t, "-n", "50", "-d", "3", "-queries", "0", "-save", idx); err != nil {
+		t.Fatalf("build+save: %v\n%s", err, out)
+	}
+
+	out, err := run(t, "serve", "-addr", "127.0.0.1:0", "-load", idx, "-d", "7")
+	if err == nil {
+		t.Fatalf("serve with conflicting -d started anyway:\n%s", out)
+	}
+	if !strings.Contains(out, "conflicts with the snapshot's dimensionality 3") {
+		t.Errorf("no dimensionality-conflict error:\n%s", out)
+	}
+
+	out, err = run(t, "serve", "-addr", "127.0.0.1:0", "-load", idx, "-shards", "4")
+	if err == nil {
+		t.Fatalf("serve with conflicting -shards started anyway:\n%s", out)
+	}
+	if !strings.Contains(out, "conflicts with a single-index snapshot") {
+		t.Errorf("no shard-conflict error:\n%s", out)
+	}
+}

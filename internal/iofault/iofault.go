@@ -1,0 +1,127 @@
+// Package iofault is the injectable write layer beneath every durability
+// path in the system (the write-ahead log and the atomic snapshots). The
+// production implementation (OS) is a thin veneer over the os package plus
+// the directory-fsync discipline POSIX requires for durable renames; the
+// in-memory implementation (Mem) models exactly the failure surface a real
+// filesystem exposes to a crash — short writes, torn tails, ENOSPC, failed
+// fsyncs, and the distinction between written and durable bytes — so the
+// crash tests can prove, at every byte offset, that recovery never loses an
+// acknowledged write and never serves a half-applied one.
+package iofault
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// File is the handle surface the durability paths need: sequential reads,
+// appends, fsync, close. Seeking and positional writes are deliberately
+// absent — the WAL and the snapshot writer are strictly append-only, which
+// is what makes their torn-tail analysis tractable.
+type File interface {
+	io.Reader
+	io.Writer
+	// Sync flushes the file's written bytes to stable storage. Durability
+	// acknowledgements must not be issued before Sync returns nil.
+	Sync() error
+	Close() error
+}
+
+// FS is the filesystem surface of the durability layer. Implementations:
+// OS (production) and Mem (crash tests with fault injection).
+type FS interface {
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	MkdirAll(path string, perm os.FileMode) error
+	// ReadDir returns the sorted base names of the non-directory entries of
+	// the directory. A missing directory reports os.ErrNotExist.
+	ReadDir(name string) ([]string, error)
+	// SyncDir fsyncs the directory itself. On ext4 (and most journaling
+	// filesystems) a rename or create is not durable until the parent
+	// directory's metadata has been flushed; every atomic-rename publish and
+	// every segment create/remove must be followed by a SyncDir.
+	SyncDir(name string) error
+}
+
+// OS is the production filesystem.
+type OS struct{}
+
+// OpenFile opens name with os.OpenFile semantics.
+func (OS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+// Rename renames oldpath to newpath (atomic within a filesystem).
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove deletes the named file.
+func (OS) Remove(name string) error { return os.Remove(name) }
+
+// MkdirAll creates the directory and any missing parents.
+func (OS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+// ReadDir lists the sorted base names of the directory's file entries.
+func (OS) ReadDir(name string) ([]string, error) {
+	ents, err := os.ReadDir(name)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// SyncDir opens the directory and fsyncs it.
+func (OS) SyncDir(name string) error {
+	d, err := os.Open(name)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// WriteAtomic publishes a file durably: the content is written to a
+// temporary sibling, fsynced, closed, renamed over path, and the parent
+// directory is fsynced. A crash at any point leaves either the old file or
+// the new one — never a torn mix — and after WriteAtomic returns nil the
+// new content survives power loss (rename alone does not guarantee that on
+// ext4; the directory fsync does).
+func WriteAtomic(fsys FS, path string, write func(io.Writer) error) error {
+	tmp := path + ".tmp"
+	f, err := fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("iofault: write %s: %w", path, err)
+	}
+	cleanup := func(err error) error {
+		fsys.Remove(tmp)
+		return fmt.Errorf("iofault: write %s: %w", path, err)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return cleanup(err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return cleanup(err)
+	}
+	if err := f.Close(); err != nil {
+		return cleanup(err)
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		return cleanup(err)
+	}
+	if err := fsys.SyncDir(filepath.Dir(path)); err != nil {
+		return fmt.Errorf("iofault: write %s: sync dir: %w", path, err)
+	}
+	return nil
+}

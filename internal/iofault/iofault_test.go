@@ -1,0 +1,187 @@
+package iofault
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestMemWriteSyncRead(t *testing.T) {
+	m := NewMem()
+	if err := m.MkdirAll("wal", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f, err := m.OpenFile("wal/seg", os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello ")); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.SyncedLen("wal/seg"); got != 0 {
+		t.Fatalf("synced %d bytes before any Sync", got)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.SyncedLen("wal/seg"); got != 6 {
+		t.Fatalf("synced = %d, want 6 (unsynced suffix must not count)", got)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	data, ok := m.Bytes("wal/seg")
+	if !ok || string(data) != "hello world" {
+		t.Fatalf("content = %q, %v", data, ok)
+	}
+	r, err := m.OpenFile("wal/seg", os.O_RDONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := io.ReadAll(r)
+	if err != nil || string(all) != "hello world" {
+		t.Fatalf("read back %q, %v", all, err)
+	}
+}
+
+func TestMemWriteFaultShortAndSticky(t *testing.T) {
+	m := NewMem()
+	f, err := m.OpenFile("seg", os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.FailWritesAfter("seg", 4, ErrNoSpace)
+	n, err := f.Write([]byte("abcdefgh"))
+	if n != 4 || !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("short write = (%d, %v), want (4, ErrNoSpace)", n, err)
+	}
+	// Sticky: nothing more lands.
+	n, err = f.Write([]byte("xy"))
+	if n != 0 || !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("post-fault write = (%d, %v), want (0, ErrNoSpace)", n, err)
+	}
+	data, _ := m.Bytes("seg")
+	if string(data) != "abcd" {
+		t.Fatalf("content after fault = %q, want the 4-byte torn prefix", data)
+	}
+	m.ClearFaults()
+	if n, err := f.Write([]byte("Z")); n != 1 || err != nil {
+		t.Fatalf("write after ClearFaults = (%d, %v)", n, err)
+	}
+}
+
+func TestMemSyncFault(t *testing.T) {
+	m := NewMem()
+	f, _ := m.OpenFile("seg", os.O_WRONLY|os.O_CREATE, 0o644)
+	f.Write([]byte("data"))
+	m.FailSync("seg", ErrSyncFailed)
+	if err := f.Sync(); !errors.Is(err, ErrSyncFailed) {
+		t.Fatalf("Sync = %v, want ErrSyncFailed", err)
+	}
+	if got := m.SyncedLen("seg"); got != 0 {
+		t.Fatalf("failed Sync must not advance durable prefix (got %d)", got)
+	}
+}
+
+func TestMemTruncateSimulatesTornTail(t *testing.T) {
+	m := NewMem()
+	m.SetFile("seg", []byte("0123456789"))
+	m.TruncateFile("seg", 3)
+	data, _ := m.Bytes("seg")
+	if string(data) != "012" {
+		t.Fatalf("truncated content = %q", data)
+	}
+	if got := m.SyncedLen("seg"); got != 3 {
+		t.Fatalf("synced after truncate = %d", got)
+	}
+}
+
+func TestMemReadDir(t *testing.T) {
+	m := NewMem()
+	if _, err := m.ReadDir("nope"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("missing dir: %v", err)
+	}
+	m.SetFile("d/b", nil)
+	m.SetFile("d/a", nil)
+	m.SetFile("d/sub/c", nil)
+	names, err := m.ReadDir("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("ReadDir = %v, want direct children [a b]", names)
+	}
+}
+
+func TestWriteAtomicMem(t *testing.T) {
+	m := NewMem()
+	m.MkdirAll("snap", 0o755)
+	path := filepath.Join("snap", "idx.bin")
+	err := WriteAtomic(m, path, func(w io.Writer) error {
+		_, err := w.Write([]byte("payload"))
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, ok := m.Bytes(path)
+	if !ok || string(data) != "payload" {
+		t.Fatalf("published content = %q, %v", data, ok)
+	}
+	if got := m.SyncedLen(path); got != len("payload") {
+		t.Fatalf("published file not fsynced (synced=%d)", got)
+	}
+	if m.DirSyncs() == 0 {
+		t.Fatal("WriteAtomic must fsync the parent directory after rename")
+	}
+	if _, ok := m.Bytes(path + ".tmp"); ok {
+		t.Fatal("temporary file left behind")
+	}
+}
+
+func TestWriteAtomicFailureLeavesOldFile(t *testing.T) {
+	m := NewMem()
+	m.SetFile("snap/idx.bin", []byte("old"))
+	m.FailWritesAfter("snap/idx.bin.tmp", 2, ErrNoSpace)
+	err := WriteAtomic(m, "snap/idx.bin", func(w io.Writer) error {
+		_, err := w.Write([]byte("newcontent"))
+		return err
+	})
+	if !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("err = %v, want ErrNoSpace", err)
+	}
+	data, _ := m.Bytes("snap/idx.bin")
+	if string(data) != "old" {
+		t.Fatalf("old file clobbered: %q", data)
+	}
+	if _, ok := m.Bytes("snap/idx.bin.tmp"); ok {
+		t.Fatal("failed tmp file left behind")
+	}
+}
+
+func TestWriteAtomicOS(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.bin")
+	want := bytes.Repeat([]byte{0xAB}, 1024)
+	if err := WriteAtomic(OS{}, path, func(w io.Writer) error {
+		_, err := w.Write(want)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("read back %d bytes, err %v", len(got), err)
+	}
+	ents, _ := os.ReadDir(dir)
+	if len(ents) != 1 {
+		t.Fatalf("stray files in dir: %v", ents)
+	}
+}

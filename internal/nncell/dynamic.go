@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/vec"
+	"repro/internal/wal"
 	"repro/internal/xtree"
 )
 
@@ -34,6 +35,19 @@ import (
 func (ix *Index) Insert(p vec.Point) (int, error) {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
+	return ix.insertLocked(p, true)
+}
+
+// insertLocked is Insert under an already-held write lock. logIt selects
+// whether the mutation is appended to the attached WAL: true for foreground
+// inserts, false during replay (the record being applied came FROM the log).
+// The WAL append sits between staging and commit: it runs only after every
+// LP has succeeded (no log records for mutations that would have failed
+// anyway) and before any committed structure changes, so an append failure
+// rolls back to the exact pre-call state and the mutation is never
+// acknowledged — the crash-consistency contract is "logged iff committed
+// iff acknowledged".
+func (ix *Index) insertLocked(p vec.Point, logIt bool) (int, error) {
 	if p.Dim() != ix.dim {
 		return 0, fmt.Errorf("nncell: insert of %d-dim point into %d-dim index", p.Dim(), ix.dim)
 	}
@@ -82,8 +96,19 @@ func (ix *Index) Insert(p vec.Point) (int, error) {
 		return 0, err
 	}
 
-	// Commit: every LP has succeeded, so the remaining work is pure
-	// tree/bookkeeping mutation that cannot fail.
+	// Make the mutation durable before committing it: every solve has
+	// succeeded, so the only remaining failure mode is the log itself, and a
+	// failed append must leave the index exactly as it was (the caller never
+	// gets an id for a record that is not on disk).
+	if logIt && ix.wlog != nil {
+		if err := ix.wlog.Append(wal.Record{Kind: wal.KindInsert, ID: int64(id), Point: p}); err != nil {
+			rollback()
+			return 0, fmt.Errorf("nncell: logging insert: %w", err)
+		}
+	}
+
+	// Commit: every LP has succeeded and the record is logged, so the
+	// remaining work is pure tree/bookkeeping mutation that cannot fail.
 	ix.storeCell(id, frags)
 	ix.commitStaged(affected, staged)
 	return id, nil
@@ -124,6 +149,12 @@ func (ix *Index) hasDuplicate(p vec.Point) bool {
 func (ix *Index) Delete(id int) error {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
+	return ix.deleteLocked(id, true)
+}
+
+// deleteLocked is Delete under an already-held write lock; logIt as in
+// insertLocked.
+func (ix *Index) deleteLocked(id int, logIt bool) error {
 	if id < 0 || id >= len(ix.points) || ix.points[id] == nil {
 		return fmt.Errorf("nncell: delete of unknown id %d", id)
 	}
@@ -138,6 +169,12 @@ func (ix *Index) Delete(id int) error {
 	ix.points[id] = nil
 	ix.alive--
 
+	rollback := func() {
+		// Roll back the staged removal; nothing committed changed.
+		ix.points[id] = p
+		ix.alive++
+		ix.dataIdx.Insert(vec.PointRect(p), int64(id))
+	}
 	var (
 		affected []int
 		staged   [][]vec.Rect
@@ -148,11 +185,16 @@ func (ix *Index) Delete(id int) error {
 		var err error
 		staged, err = ix.recomputeCells(newCellCtx(ix.dim), affected)
 		if err != nil {
-			// Roll back the staged removal; nothing committed changed.
-			ix.points[id] = p
-			ix.alive++
-			ix.dataIdx.Insert(vec.PointRect(p), int64(id))
+			rollback()
 			return err
+		}
+	}
+
+	// Durability before commit, as in insertLocked.
+	if logIt && ix.wlog != nil {
+		if err := ix.wlog.Append(wal.Record{Kind: wal.KindDelete, ID: int64(id)}); err != nil {
+			rollback()
+			return fmt.Errorf("nncell: logging delete: %w", err)
 		}
 	}
 

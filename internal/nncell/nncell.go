@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/pager"
 	"repro/internal/vec"
+	"repro/internal/wal"
 	"repro/internal/xtree"
 )
 
@@ -162,6 +163,7 @@ type Index struct {
 	ctxPool sync.Pool
 
 	mu      sync.RWMutex
+	wlog    *wal.Log    // nil: no durability; see AttachWAL
 	points  []vec.Point // nil entries are tombstones
 	ptsFlat []float64   // SoA mirror: point id's coords at [id*dim:(id+1)*dim]; NaN-poisoned for tombstones
 	alive   int

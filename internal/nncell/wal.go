@@ -1,0 +1,160 @@
+package nncell
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/iofault"
+	"repro/internal/vec"
+	"repro/internal/wal"
+)
+
+// Durability: an index with an attached WAL appends one record per
+// committed Insert/Delete (see insertLocked/deleteLocked: the append runs
+// after every LP has succeeded and before the commit, so "acknowledged"
+// equals "logged"). Recovery is load-snapshot-then-Recover; replay is
+// verifiable and idempotent because insert records carry the slot id the
+// original execution assigned — see ApplyLogRecord for the case analysis.
+
+// AttachWAL attaches the log every subsequent Insert/Delete is appended to.
+// Attach after recovery and before serving mutations; attaching nil
+// detaches. The index does not own the log's lifecycle (Close it yourself,
+// after the index stops mutating).
+func (ix *Index) AttachWAL(l *wal.Log) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.wlog = l
+}
+
+// WAL returns the attached log, or nil.
+func (ix *Index) WAL() *wal.Log {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.wlog
+}
+
+// WALStats returns the attached log's counters (zero value when detached).
+func (ix *Index) WALStats() wal.Stats {
+	if l := ix.WAL(); l != nil {
+		return l.Stats()
+	}
+	return wal.Stats{}
+}
+
+// RotateWAL seals the active segment and returns the compaction cut for a
+// snapshot that STARTS after this call (see CompactWAL). With no WAL
+// attached it returns (0, nil): the snapshot simply has no log to compact.
+func (ix *Index) RotateWAL() (uint64, error) {
+	l := ix.WAL()
+	if l == nil {
+		return 0, nil
+	}
+	return l.Rotate()
+}
+
+// CompactWAL discards log segments made redundant by a completed snapshot.
+// The protocol is: cut := RotateWAL() → write snapshot (Save) → CompactWAL
+// (cut). Mutations racing the snapshot land in segments ≥ cut AND (when
+// they won the race into the snapshot's read lock) in the snapshot itself;
+// replay re-encounters them as stale duplicates and skips them, so the
+// overlap is harmless and no coordination with writers is needed.
+func (ix *Index) CompactWAL(cut uint64) error {
+	l := ix.WAL()
+	if l == nil || cut == 0 {
+		return nil
+	}
+	return l.TruncateBefore(cut)
+}
+
+// RecoveryStats extends the log-level replay counters with what the index
+// did with the records.
+type RecoveryStats struct {
+	wal.ReplayStats
+	// Applied counts records that mutated the index; Stale counts records
+	// skipped because the snapshot already contained their effect.
+	Applied, Stale uint64
+}
+
+// Recover replays the WAL directory into the index (which should hold the
+// base snapshot's state). Call before AttachWAL/serving. A nil fsys means
+// the real filesystem; a missing directory is an empty log. An error means
+// the log contradicts the snapshot (wrong directory, gap in the record
+// sequence) — the index must not serve, because its state provably
+// diverges from the acknowledged history.
+func (ix *Index) Recover(fsys iofault.FS, dir string) (RecoveryStats, error) {
+	var rs RecoveryStats
+	st, err := wal.Replay(fsys, dir, func(rec wal.Record) error {
+		applied, err := ix.ApplyLogRecord(rec)
+		if err != nil {
+			return err
+		}
+		if applied {
+			rs.Applied++
+		} else {
+			rs.Stale++
+		}
+		return nil
+	})
+	rs.ReplayStats = st
+	return rs, err
+}
+
+// ApplyLogRecord applies one replayed record, reporting whether it mutated
+// the index (false: a stale duplicate of state the snapshot already holds).
+// The id carried by each record makes the replay verifiable:
+//
+//   - insert with id == len(points): the next free slot — apply; the
+//     re-execution provably assigns exactly id.
+//   - insert with id < len(points): the snapshot already covers this
+//     record. If the slot holds bit-identical coordinates (or a tombstone —
+//     the point was inserted and later deleted, both before the snapshot),
+//     it is a stale duplicate; a live slot with DIFFERENT bits means this
+//     log does not belong to this snapshot — error.
+//   - insert with id > len(points): a gap — records are missing below id,
+//     so the acknowledged history cannot be reconstructed — error.
+//   - delete of a live id: apply. Delete of a tombstone: stale. Delete of
+//     an id beyond the table: gap — error.
+func (ix *Index) ApplyLogRecord(rec wal.Record) (bool, error) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	id := int(rec.ID)
+	switch rec.Kind {
+	case wal.KindInsert:
+		if len(rec.Point) != ix.dim {
+			return false, fmt.Errorf("nncell: replayed %d-dim insert into %d-dim index", len(rec.Point), ix.dim)
+		}
+		switch {
+		case id == len(ix.points):
+			if _, err := ix.insertLocked(vec.Point(rec.Point), false); err != nil {
+				return false, fmt.Errorf("nncell: replaying insert %d: %w", id, err)
+			}
+			return true, nil
+		case id < len(ix.points):
+			q := ix.points[id]
+			if q == nil {
+				return false, nil // inserted and deleted before the snapshot
+			}
+			for j := range q {
+				if math.Float64bits(q[j]) != math.Float64bits(rec.Point[j]) {
+					return false, fmt.Errorf("nncell: replayed insert %d does not match the snapshot's point (wrong log for this snapshot?)", id)
+				}
+			}
+			return false, nil // stale duplicate
+		default:
+			return false, fmt.Errorf("nncell: replayed insert %d beyond point table of %d (log is missing records)", id, len(ix.points))
+		}
+	case wal.KindDelete:
+		if id >= len(ix.points) {
+			return false, fmt.Errorf("nncell: replayed delete %d beyond point table of %d (log is missing records)", id, len(ix.points))
+		}
+		if ix.points[id] == nil {
+			return false, nil // already a tombstone in the snapshot
+		}
+		if err := ix.deleteLocked(id, false); err != nil {
+			return false, fmt.Errorf("nncell: replaying delete %d: %w", id, err)
+		}
+		return true, nil
+	default:
+		return false, fmt.Errorf("nncell: replayed record of unknown kind %d", rec.Kind)
+	}
+}

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/nncell"
 	"repro/internal/vec"
+	"repro/internal/wal"
 )
 
 var startTime = time.Now()
@@ -117,8 +118,8 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v interface{}) bool {
 // are fine — the index's clamp-and-verify fallback answers them exactly —
 // but NaN/Inf coordinates would poison distance comparisons.
 func (s *Server) validatePoint(coords []float64) (vec.Point, error) {
-	if len(coords) != s.ix.Dim() {
-		return nil, fmt.Errorf("point has %d dimensions, index has %d", len(coords), s.ix.Dim())
+	if len(coords) != s.index().Dim() {
+		return nil, fmt.Errorf("point has %d dimensions, index has %d", len(coords), s.index().Dim())
 	}
 	for j, v := range coords {
 		if math.IsNaN(v) || math.IsInf(v, 0) {
@@ -144,12 +145,12 @@ func (s *Server) handleNN(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	nb, err := s.ix.NearestNeighbor(q)
+	nb, err := s.index().NearestNeighbor(q)
 	if err != nil {
 		writeError(w, http.StatusServiceUnavailable, "query failed: %v", err)
 		return
 	}
-	p, _ := s.ix.Point(nb.ID)
+	p, _ := s.index().Point(nb.ID)
 	writeJSON(w, http.StatusOK, nnResponse{ID: nb.ID, Dist2: nb.Dist2, Point: p})
 }
 
@@ -162,7 +163,7 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	nbs, err := s.ix.KNearest(q, k)
+	nbs, err := s.index().KNearest(q, k)
 	if err != nil {
 		writeError(w, http.StatusServiceUnavailable, "query failed: %v", err)
 		return
@@ -182,7 +183,7 @@ func (s *Server) handleCandidates(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	bufp := s.cands.Get().(*[]int)
-	ids := s.ix.CandidatesAppend((*bufp)[:0], q)
+	ids := s.index().CandidatesAppend((*bufp)[:0], q)
 	writeJSON(w, http.StatusOK, struct {
 		IDs   []int `json:"ids"`
 		Count int   `json:"count"`
@@ -238,7 +239,7 @@ func (s *Server) handleNNBatch(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	nbs, err := s.ix.NearestNeighborBatch(qs, batchWorkers(len(qs)))
+	nbs, err := s.index().NearestNeighborBatch(qs, batchWorkers(len(qs)))
 	if err != nil {
 		writeError(w, http.StatusServiceUnavailable, "query failed: %v", err)
 		return
@@ -263,7 +264,7 @@ func (s *Server) handleKNNBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	out := make([][]neighborResponse, len(qs))
 	for i, q := range qs {
-		nbs, err := s.ix.KNearest(q, k)
+		nbs, err := s.index().KNearest(q, k)
 		if err != nil {
 			writeError(w, http.StatusServiceUnavailable, "query %d failed: %v", i, err)
 			return
@@ -287,7 +288,7 @@ func (s *Server) handleCandidatesBatch(w http.ResponseWriter, r *http.Request) {
 	out := make([][]int, len(qs))
 	buf := make([]int, 0, 16)
 	for i, q := range qs {
-		buf = s.ix.CandidatesAppend(buf[:0], q)
+		buf = s.index().CandidatesAppend(buf[:0], q)
 		out[i] = append([]int(nil), buf...)
 	}
 	writeJSON(w, http.StatusOK, struct {
@@ -295,14 +296,66 @@ func (s *Server) handleCandidatesBatch(w http.ResponseWriter, r *http.Request) {
 	}{out})
 }
 
+// recoveryResponse is the replay summary /healthz exposes once recovery
+// has run.
+type recoveryResponse struct {
+	SnapshotLoaded  bool    `json:"snapshot_loaded"`
+	WALDir          string  `json:"wal_dir,omitempty"`
+	ReplayedRecords uint64  `json:"replayed_records"`
+	Applied         uint64  `json:"applied"`
+	Stale           uint64  `json:"stale"`
+	TornSegments    int     `json:"torn_segments"`
+	DurationSec     float64 `json:"duration_seconds"`
+}
+
+func recoveryJSON(info *RecoveryInfo) *recoveryResponse {
+	if info == nil {
+		return nil
+	}
+	return &recoveryResponse{
+		SnapshotLoaded:  info.SnapshotLoaded,
+		WALDir:          info.WALDir,
+		ReplayedRecords: info.Stats.Records,
+		Applied:         info.Stats.Applied,
+		Stale:           info.Stats.Stale,
+		TornSegments:    info.Stats.TornSegments,
+		DurationSec:     info.Stats.Duration.Seconds(),
+	}
+}
+
+// handleHealthz is the READINESS probe: 503 with the loading reason while
+// the index is absent (snapshot loading, WAL replaying), 200 with the
+// index summary — and the recovery report, when there was one — once
+// serving. Liveness is the separate /healthz/live.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	ix := s.index()
+	if ix == nil {
+		reason, _ := s.reason.Load().(string)
+		writeJSON(w, http.StatusServiceUnavailable, struct {
+			Status   string            `json:"status"`
+			Reason   string            `json:"reason"`
+			Recovery *recoveryResponse `json:"recovery,omitempty"`
+		}{"loading", reason, recoveryJSON(s.recoveryInfo())})
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Status    string            `json:"status"`
+		Points    int               `json:"points"`
+		Dim       int               `json:"dim"`
+		Fragments int               `json:"fragments"`
+		UptimeSec float64           `json:"uptime_seconds"`
+		Recovery  *recoveryResponse `json:"recovery,omitempty"`
+	}{"ok", ix.Len(), ix.Dim(), ix.Fragments(), time.Since(startTime).Seconds(), recoveryJSON(s.recoveryInfo())})
+}
+
+// handleLiveness reports that the process is up and serving HTTP — nothing
+// about the index. Restart-deciders probe this; traffic-routers probe
+// /healthz.
+func (s *Server) handleLiveness(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, struct {
 		Status    string  `json:"status"`
-		Points    int     `json:"points"`
-		Dim       int     `json:"dim"`
-		Fragments int     `json:"fragments"`
 		UptimeSec float64 `json:"uptime_seconds"`
-	}{"ok", s.ix.Len(), s.ix.Dim(), s.ix.Fragments(), time.Since(startTime).Seconds()})
+	}{"ok", time.Since(startTime).Seconds()})
 }
 
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
@@ -311,6 +364,12 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	ix := s.index()
+	if ix == nil {
+		reason, _ := s.reason.Load().(string)
+		fmt.Fprintf(w, "nncell query server: not ready (%s)\n", reason)
+		return
+	}
 	fmt.Fprintf(w, `nncell query server (d=%d, %d points, %d fragments)
 
 endpoints:
@@ -320,10 +379,80 @@ endpoints:
   POST     /v1/nn/batch            {"points":[[...],...]}     -> batched NN
   POST     /v1/knn/batch           {"points":[...],"k":K}     -> batched k-NN
   POST     /v1/candidates/batch    {"points":[[...],...]}     -> batched candidates
-  GET      /healthz
+  POST     /v1/insert              {"point":[...]}            -> insert point, returns id
+  POST     /v1/delete              {"id":N}                   -> delete point
+  GET      /healthz                readiness (503 while loading)
+  GET      /healthz/live           liveness
   GET      /metrics                Prometheus text format
-`, s.ix.Dim(), s.ix.Len(), s.ix.Fragments())
+`, ix.Dim(), ix.Len(), ix.Fragments())
 }
 
-// Stats re-exports the index stats snapshot (for embedding callers).
-func (s *Server) Stats() nncell.Stats { return s.ix.Stats() }
+// mutationStatus maps an Insert/Delete error to an HTTP status: a latched
+// WAL means durability is gone and the whole mutation path is down (503);
+// anything else is a problem with this particular request (400).
+func mutationStatus(err error) int {
+	if errors.Is(err, wal.ErrUnavailable) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusBadRequest
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", "POST")
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req queryRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	p, err := s.validatePoint(req.Point)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	id, err := s.index().Insert(p)
+	if err != nil {
+		writeError(w, mutationStatus(err), "insert failed: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		ID int `json:"id"`
+	}{id})
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", "POST")
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req struct {
+		ID *int `json:"id"`
+	}
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.ID == nil {
+		writeError(w, http.StatusBadRequest, "missing id")
+		return
+	}
+	if err := s.index().Delete(*req.ID); err != nil {
+		writeError(w, mutationStatus(err), "delete failed: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Status string `json:"status"`
+		ID     int    `json:"id"`
+	}{"deleted", *req.ID})
+}
+
+// Stats re-exports the index stats snapshot (for embedding callers; zero
+// value while the index is still loading).
+func (s *Server) Stats() nncell.Stats {
+	if ix := s.index(); ix != nil {
+		return ix.Stats()
+	}
+	return nncell.Stats{}
+}

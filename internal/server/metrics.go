@@ -9,14 +9,16 @@ import (
 
 	"repro/internal/shard"
 	"repro/internal/stats"
+	"repro/internal/wal"
 )
 
 // endpointNames is the fixed metric label set; instrument() only ever passes
 // these, so the map in metrics needs no lock for reads.
 var endpointNames = []string{
-	"index", "healthz", "metrics",
+	"index", "healthz", "healthz_live", "metrics",
 	"nn", "knn", "candidates",
 	"nn_batch", "knn_batch", "candidates_batch",
+	"insert", "delete",
 }
 
 type endpointMetrics struct {
@@ -125,10 +127,28 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# TYPE nncell_http_rejected_total counter\n")
 	fmt.Fprintf(w, "nncell_http_rejected_total %d\n", s.m.rejected.Load())
 
-	ist := s.ix.Stats()
+	ix := s.index()
+	ready := 0
+	if ix != nil {
+		ready = 1
+	}
+	fmt.Fprintf(w, "# HELP nncell_ready Whether the index is loaded and serving (readiness).\n")
+	fmt.Fprintf(w, "# TYPE nncell_ready gauge\n")
+	fmt.Fprintf(w, "nncell_ready %d\n", ready)
+	s.writeRecoveryMetrics(w)
+	if ix == nil {
+		// The index sections below need an index; during recovery the
+		// surface stops here (plus whatever recovery progress exists).
+		fmt.Fprintf(w, "# HELP nncell_uptime_seconds Process uptime.\n")
+		fmt.Fprintf(w, "# TYPE nncell_uptime_seconds gauge\n")
+		fmt.Fprintf(w, "nncell_uptime_seconds %g\n", time.Since(startTime).Seconds())
+		return
+	}
+
+	ist := ix.Stats()
 	fmt.Fprintf(w, "# HELP nncell_index_points Live points in the index.\n")
 	fmt.Fprintf(w, "# TYPE nncell_index_points gauge\n")
-	fmt.Fprintf(w, "nncell_index_points %d\n", s.ix.Len())
+	fmt.Fprintf(w, "nncell_index_points %d\n", ix.Len())
 	fmt.Fprintf(w, "# HELP nncell_index_fragments Cell-approximation fragments stored.\n")
 	fmt.Fprintf(w, "# TYPE nncell_index_fragments gauge\n")
 	fmt.Fprintf(w, "nncell_index_fragments %d\n", ist.Fragments)
@@ -145,7 +165,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# TYPE nncell_index_updates_total counter\n")
 	fmt.Fprintf(w, "nncell_index_updates_total %d\n", ist.Updates)
 
-	pst := s.ix.PagerStats()
+	pst := ix.PagerStats()
 	fmt.Fprintf(w, "# HELP nncell_pager_accesses_total Logical page reads.\n")
 	fmt.Fprintf(w, "# TYPE nncell_pager_accesses_total counter\n")
 	fmt.Fprintf(w, "nncell_pager_accesses_total %d\n", pst.Accesses)
@@ -164,11 +184,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "nncell_pager_hit_ratio %g\n", ratio)
 	fmt.Fprintf(w, "# HELP nncell_pager_live_pages Allocated, unfreed pages (index size on disk).\n")
 	fmt.Fprintf(w, "# TYPE nncell_pager_live_pages gauge\n")
-	fmt.Fprintf(w, "nncell_pager_live_pages %d\n", s.ix.PagerLivePages())
+	fmt.Fprintf(w, "nncell_pager_live_pages %d\n", ix.PagerLivePages())
 
 	// Per-shard breakdown when the served index is sharded: routing skew
 	// and per-shard maintenance load are invisible in the aggregates above.
-	if ss, ok := s.ix.(interface{ ShardStats() []shard.ShardStat }); ok {
+	if ss, ok := ix.(interface{ ShardStats() []shard.ShardStat }); ok {
 		sts := ss.ShardStats()
 		fmt.Fprintf(w, "# HELP nncell_shard_points Live points per shard.\n")
 		fmt.Fprintf(w, "# TYPE nncell_shard_points gauge\n")
@@ -192,6 +212,40 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	// WAL counters when the served index is durable. Both index flavours
+	// expose WALStats; an all-zero Stats means no WAL is attached, in which
+	// case the series are suppressed (absence = durability off).
+	if ws, ok := ix.(interface{ WALStats() wal.Stats }); ok {
+		st := ws.WALStats()
+		if st != (wal.Stats{}) {
+			fmt.Fprintf(w, "# HELP nncell_wal_appends_total Records appended to the write-ahead log.\n")
+			fmt.Fprintf(w, "# TYPE nncell_wal_appends_total counter\n")
+			fmt.Fprintf(w, "nncell_wal_appends_total %d\n", st.Appends)
+			fmt.Fprintf(w, "# HELP nncell_wal_appended_bytes_total Framed bytes appended to the log.\n")
+			fmt.Fprintf(w, "# TYPE nncell_wal_appended_bytes_total counter\n")
+			fmt.Fprintf(w, "nncell_wal_appended_bytes_total %d\n", st.AppendedBytes)
+			fmt.Fprintf(w, "# HELP nncell_wal_fsyncs_total Successful log fsyncs.\n")
+			fmt.Fprintf(w, "# TYPE nncell_wal_fsyncs_total counter\n")
+			fmt.Fprintf(w, "nncell_wal_fsyncs_total %d\n", st.Syncs)
+			fmt.Fprintf(w, "# HELP nncell_wal_fsync_failures_total Failed log fsyncs (each latches the log).\n")
+			fmt.Fprintf(w, "# TYPE nncell_wal_fsync_failures_total counter\n")
+			fmt.Fprintf(w, "nncell_wal_fsync_failures_total %d\n", st.SyncFailures)
+			fmt.Fprintf(w, "# HELP nncell_wal_rotations_total Segment rotations.\n")
+			fmt.Fprintf(w, "# TYPE nncell_wal_rotations_total counter\n")
+			fmt.Fprintf(w, "nncell_wal_rotations_total %d\n", st.Rotations)
+			fmt.Fprintf(w, "# HELP nncell_wal_compactions_total Log compactions (snapshot-driven truncations).\n")
+			fmt.Fprintf(w, "# TYPE nncell_wal_compactions_total counter\n")
+			fmt.Fprintf(w, "nncell_wal_compactions_total %d\n", st.Compactions)
+			failed := 0
+			if st.Failed {
+				failed = 1
+			}
+			fmt.Fprintf(w, "# HELP nncell_wal_failed Whether the log has latched its sticky failure state.\n")
+			fmt.Fprintf(w, "# TYPE nncell_wal_failed gauge\n")
+			fmt.Fprintf(w, "nncell_wal_failed %d\n", failed)
+		}
+	}
+
 	fmt.Fprintf(w, "# HELP nncell_snapshots_total Periodic index snapshots written.\n")
 	fmt.Fprintf(w, "# TYPE nncell_snapshots_total counter\n")
 	fmt.Fprintf(w, "nncell_snapshots_total{result=\"ok\"} %d\n", s.m.snapshots.Load())
@@ -204,4 +258,30 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP nncell_uptime_seconds Process uptime.\n")
 	fmt.Fprintf(w, "# TYPE nncell_uptime_seconds gauge\n")
 	fmt.Fprintf(w, "nncell_uptime_seconds %g\n", time.Since(startTime).Seconds())
+}
+
+// writeRecoveryMetrics emits the startup-recovery counters once SetRecovery
+// has recorded them (both while loading, as progress, and after, as a
+// permanent record of what the boot replayed).
+func (s *Server) writeRecoveryMetrics(w http.ResponseWriter) {
+	info := s.recoveryInfo()
+	if info == nil {
+		return
+	}
+	st := info.Stats
+	fmt.Fprintf(w, "# HELP nncell_wal_replayed_records_total Log records replayed at startup.\n")
+	fmt.Fprintf(w, "# TYPE nncell_wal_replayed_records_total counter\n")
+	fmt.Fprintf(w, "nncell_wal_replayed_records_total %d\n", st.Records)
+	fmt.Fprintf(w, "# HELP nncell_wal_replay_applied_total Replayed records that mutated the index.\n")
+	fmt.Fprintf(w, "# TYPE nncell_wal_replay_applied_total counter\n")
+	fmt.Fprintf(w, "nncell_wal_replay_applied_total %d\n", st.Applied)
+	fmt.Fprintf(w, "# HELP nncell_wal_replay_stale_total Replayed records already covered by the snapshot.\n")
+	fmt.Fprintf(w, "# TYPE nncell_wal_replay_stale_total counter\n")
+	fmt.Fprintf(w, "nncell_wal_replay_stale_total %d\n", st.Stale)
+	fmt.Fprintf(w, "# HELP nncell_wal_torn_segments Log segments that ended in a torn or corrupt tail.\n")
+	fmt.Fprintf(w, "# TYPE nncell_wal_torn_segments gauge\n")
+	fmt.Fprintf(w, "nncell_wal_torn_segments %d\n", st.TornSegments)
+	fmt.Fprintf(w, "# HELP nncell_recovery_duration_seconds Wall-clock time of the startup WAL replay.\n")
+	fmt.Fprintf(w, "# TYPE nncell_recovery_duration_seconds gauge\n")
+	fmt.Fprintf(w, "nncell_recovery_duration_seconds %g\n", st.Duration.Seconds())
 }

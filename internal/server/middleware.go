@@ -33,6 +33,14 @@ func (s *Server) instrument(name string, limited bool, h http.HandlerFunc) http.
 
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		if limited {
+			// Query/mutation endpoints need the index; during startup
+			// recovery they shed with the same reason readiness reports.
+			if s.index() == nil {
+				reason, _ := s.reason.Load().(string)
+				writeError(sw, http.StatusServiceUnavailable, "index not ready: %s", reason)
+				s.m.record(name, sw.code, time.Since(start))
+				return
+			}
 			if !s.acquire(ctx) {
 				s.m.rejected.Add(1)
 				writeError(sw, http.StatusServiceUnavailable, "server at capacity")

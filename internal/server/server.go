@@ -19,11 +19,12 @@ import (
 	"net"
 	"net/http"
 	"os"
-	"path/filepath"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/iofault"
 	"repro/internal/nncell"
 	"repro/internal/pager"
 	"repro/internal/vec"
@@ -42,10 +43,25 @@ type Index interface {
 	KNearest(q vec.Point, k int) ([]nncell.Neighbor, error)
 	CandidatesAppend(dst []int, q vec.Point) []int
 	NearestNeighborBatch(qs []vec.Point, workers int) ([]nncell.Neighbor, error)
+	Insert(p vec.Point) (int, error)
+	Delete(id int) error
 	Stats() nncell.Stats
 	Save(w io.Writer) error
 	PagerStats() pager.Stats
 	PagerLivePages() int
+}
+
+// walRotator is the single-index WAL compaction surface (nncell.Index).
+type walRotator interface {
+	RotateWAL() (uint64, error)
+	CompactWAL(cut uint64) error
+}
+
+// shardWALRotator is the sharded equivalent (shard.Sharded): one cut per
+// shard's private log.
+type shardWALRotator interface {
+	RotateWAL() ([]uint64, error)
+	CompactWAL(cuts []uint64) error
 }
 
 // Config tunes the serving layer. The zero value serves with the documented
@@ -70,9 +86,14 @@ type Config struct {
 	// MaxK caps the k of /v1/knn requests. Default 256.
 	MaxK int
 	// SnapshotPath, if non-empty, makes Serve write the index there (via an
-	// atomic tmp+rename) every SnapshotEvery and once more during shutdown.
+	// atomic tmp+rename+dir-fsync) every SnapshotEvery and once more during
+	// shutdown. When the served index has a WAL attached, each snapshot also
+	// compacts the log (rotate → save → truncate), bounding recovery time.
 	SnapshotPath  string
 	SnapshotEvery time.Duration
+	// FS is the filesystem snapshots are written through. Default the real
+	// one; crash tests inject an iofault.Mem.
+	FS iofault.FS
 }
 
 func (c *Config) normalize() {
@@ -97,12 +118,37 @@ func (c *Config) normalize() {
 	if c.SnapshotEvery <= 0 {
 		c.SnapshotEvery = 5 * time.Minute
 	}
+	if c.FS == nil {
+		c.FS = iofault.OS{}
+	}
+}
+
+// ixBox wraps the served index so the atomic holder always stores one
+// concrete type (atomic.Value requires it), including "no index yet".
+type ixBox struct{ ix Index }
+
+// RecoveryInfo describes the startup recovery the serving process
+// performed; the server reports it on /healthz and /metrics.
+type RecoveryInfo struct {
+	// SnapshotLoaded reports whether a base snapshot was loaded.
+	SnapshotLoaded bool
+	// WALDir is the replayed log directory ("" when durability is off).
+	WALDir string
+	// Stats are the replay counters.
+	Stats nncell.RecoveryStats
 }
 
 // Server serves one nncell.Index. Construct with New, then either mount
-// Handler on an existing mux or call Listen followed by Serve.
+// Handler on an existing mux or call Listen followed by Serve. The server
+// can start BEFORE its index: New(nil, cfg) serves 503 on every index
+// endpoint and "loading" on readiness until SetIndex installs the index —
+// that is what lets a recovering process expose liveness and progress
+// while the snapshot loads and the WAL replays.
 type Server struct {
-	ix    Index
+	ixv      atomic.Value // *ixBox; ix == nil until ready
+	reason   atomic.Value // string: why not ready
+	recovery atomic.Value // *RecoveryInfo
+
 	cfg   Config
 	m     *metrics
 	sem   chan struct{}
@@ -112,15 +158,20 @@ type Server struct {
 	cands sync.Pool // *[]int candidate buffers
 }
 
-// New builds a Server around an index. The index must outlive the server;
-// queries hold its read lock(s), so Insert/Delete/Save on the same index
-// remain safe while serving.
+// New builds a Server around an index (nil: start not-ready and install the
+// index later with SetIndex). The index must outlive the server; queries
+// hold its read lock(s), so Insert/Delete/Save on the same index remain
+// safe while serving.
 func New(ix Index, cfg Config) *Server {
 	cfg.normalize()
 	s := &Server{
-		ix:  ix,
 		cfg: cfg,
 		sem: make(chan struct{}, cfg.MaxInFlight),
+	}
+	s.reason.Store("index not loaded")
+	s.ixv.Store(&ixBox{})
+	if ix != nil {
+		s.SetIndex(ix)
 	}
 	s.cands.New = func() interface{} { b := make([]int, 0, 16); return &b }
 	s.m = newMetrics()
@@ -128,6 +179,7 @@ func New(ix Index, cfg Config) *Server {
 	s.mux = http.NewServeMux()
 	s.mux.Handle("/", s.instrument("index", false, s.handleIndex))
 	s.mux.Handle("/healthz", s.instrument("healthz", false, s.handleHealthz))
+	s.mux.Handle("/healthz/live", s.instrument("healthz_live", false, s.handleLiveness))
 	s.mux.Handle("/metrics", s.instrument("metrics", false, s.handleMetrics))
 	s.mux.Handle("/v1/nn", s.instrument("nn", true, s.handleNN))
 	s.mux.Handle("/v1/knn", s.instrument("knn", true, s.handleKNN))
@@ -135,6 +187,8 @@ func New(ix Index, cfg Config) *Server {
 	s.mux.Handle("/v1/nn/batch", s.instrument("nn_batch", true, s.handleNNBatch))
 	s.mux.Handle("/v1/knn/batch", s.instrument("knn_batch", true, s.handleKNNBatch))
 	s.mux.Handle("/v1/candidates/batch", s.instrument("candidates_batch", true, s.handleCandidatesBatch))
+	s.mux.Handle("/v1/insert", s.instrument("insert", true, s.handleInsert))
+	s.mux.Handle("/v1/delete", s.instrument("delete", true, s.handleDelete))
 
 	s.hs = &http.Server{
 		Handler:           s.mux,
@@ -146,6 +200,42 @@ func New(ix Index, cfg Config) *Server {
 		MaxHeaderBytes: 16 << 10,
 	}
 	return s
+}
+
+// index returns the served index, or nil while the server is not ready.
+func (s *Server) index() Index {
+	if b, ok := s.ixv.Load().(*ixBox); ok {
+		return b.ix
+	}
+	return nil
+}
+
+// SetIndex installs the index and flips the server ready: readiness
+// reports 200 and query/mutation endpoints start serving. Call after
+// recovery (snapshot load + WAL replay + AttachWAL) completes.
+func (s *Server) SetIndex(ix Index) {
+	s.ixv.Store(&ixBox{ix: ix})
+	if ix != nil {
+		s.reason.Store("")
+	}
+}
+
+// SetNotReady updates the reason readiness reports while the index is
+// absent (e.g. "loading snapshot", "replaying wal"). It does not un-ready
+// a server that already has an index.
+func (s *Server) SetNotReady(reason string) {
+	if s.index() == nil {
+		s.reason.Store(reason)
+	}
+}
+
+// SetRecovery records what startup recovery did, for /healthz and /metrics.
+func (s *Server) SetRecovery(info RecoveryInfo) { s.recovery.Store(&info) }
+
+// recoveryInfo returns the recorded recovery, or nil.
+func (s *Server) recoveryInfo() *RecoveryInfo {
+	info, _ := s.recovery.Load().(*RecoveryInfo)
+	return info
 }
 
 // Handler returns the route table (for tests and embedding; it carries the
@@ -229,30 +319,55 @@ func (s *Server) snapshotLoop(ctx context.Context) {
 	}
 }
 
-// writeSnapshot saves the index to SnapshotPath via tmp+rename, so readers of
-// the path never observe a torn file. Save holds the index read lock:
-// queries proceed concurrently, writers wait for the duration of the dump.
+// writeSnapshot saves the index to SnapshotPath via tmp+rename+dir-fsync,
+// so readers of the path never observe a torn file and the rename survives
+// a crash. Save holds the index read lock: queries proceed concurrently,
+// writers wait for the duration of the dump.
+//
+// When the index has a WAL, the snapshot doubles as log compaction: the
+// log rotates FIRST (so every record not covered by this snapshot lands in
+// a surviving segment), then the snapshot is published, then the sealed
+// pre-rotation segments are discarded. A failure after publish leaves
+// extra segments behind — replayed as stale duplicates, never lost data.
 func (s *Server) writeSnapshot() error {
+	ix := s.index()
+	if ix == nil {
+		return errors.New("server: snapshot before index is loaded")
+	}
 	start := time.Now()
-	dir := filepath.Dir(s.cfg.SnapshotPath)
-	tmp, err := os.CreateTemp(dir, ".nncell-snapshot-*")
+
+	var (
+		cut       uint64
+		cuts      []uint64
+		compacter func() error
+	)
+	switch w := ix.(type) {
+	case shardWALRotator:
+		var err error
+		if cuts, err = w.RotateWAL(); err != nil {
+			s.m.snapshotErrs.Add(1)
+			return fmt.Errorf("server: rotating wal: %w", err)
+		}
+		compacter = func() error { return w.CompactWAL(cuts) }
+	case walRotator:
+		var err error
+		if cut, err = w.RotateWAL(); err != nil {
+			s.m.snapshotErrs.Add(1)
+			return fmt.Errorf("server: rotating wal: %w", err)
+		}
+		compacter = func() error { return w.CompactWAL(cut) }
+	}
+
+	err := iofault.WriteAtomic(s.cfg.FS, s.cfg.SnapshotPath, ix.Save)
 	if err != nil {
 		s.m.snapshotErrs.Add(1)
 		return err
 	}
-	defer os.Remove(tmp.Name()) // no-op after successful rename
-	if err := s.ix.Save(tmp); err != nil {
-		tmp.Close()
-		s.m.snapshotErrs.Add(1)
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		s.m.snapshotErrs.Add(1)
-		return err
-	}
-	if err := os.Rename(tmp.Name(), s.cfg.SnapshotPath); err != nil {
-		s.m.snapshotErrs.Add(1)
-		return err
+	if compacter != nil {
+		if err := compacter(); err != nil {
+			// The snapshot itself is durable; stale segments merely remain.
+			fmt.Fprintf(os.Stderr, "server: wal compaction after snapshot: %v\n", err)
+		}
 	}
 	s.m.snapshots.Add(1)
 	s.m.lastSnapshotNanos.Store(time.Now().UnixNano())

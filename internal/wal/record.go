@@ -1,0 +1,101 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Kind discriminates the logged mutation types.
+type Kind uint8
+
+// The mutation kinds of the dynamic NN-cell index. Values are part of the
+// on-disk format and must never be renumbered.
+const (
+	// KindInsert logs a committed Insert: the assigned slot id and the
+	// point's coordinates (exact float64 bit patterns).
+	KindInsert Kind = 1
+	// KindDelete logs a committed Delete of the slot id.
+	KindDelete Kind = 2
+)
+
+// Record is one logged mutation. IDs are index-local (for a sharded index
+// each shard has its own log with local slot ids, so a record never needs
+// cross-shard context to replay). Carrying the id in insert records is what
+// makes replay verifiable and idempotent: recovery can prove a record is a
+// stale duplicate of state already in the snapshot (same slot, same bits),
+// detect a gap (slot beyond the table), and assert that re-applied inserts
+// land on exactly the slot the original execution assigned.
+type Record struct {
+	Kind  Kind
+	ID    int64
+	Point []float64 // KindInsert only
+}
+
+// maxRecordDim bounds the declared point dimensionality of a decoded
+// record; it exists to reject corrupt frames that survived the CRC by
+// construction (a crafted stream), not to size any allocation up front.
+const maxRecordDim = 1 << 16
+
+// appendPayload serializes the record payload (everything inside the
+// length+CRC frame) onto buf. Layout, little-endian:
+//
+//	kind uint8 | id uint64 | [insert only: dim uint32 | dim × float64 bits]
+func appendPayload(buf []byte, rec Record) ([]byte, error) {
+	le := binary.LittleEndian
+	switch rec.Kind {
+	case KindInsert:
+		buf = append(buf, byte(KindInsert))
+		buf = le.AppendUint64(buf, uint64(rec.ID))
+		buf = le.AppendUint32(buf, uint32(len(rec.Point)))
+		for _, v := range rec.Point {
+			buf = le.AppendUint64(buf, math.Float64bits(v))
+		}
+	case KindDelete:
+		buf = append(buf, byte(KindDelete))
+		buf = le.AppendUint64(buf, uint64(rec.ID))
+	default:
+		return nil, fmt.Errorf("wal: unknown record kind %d", rec.Kind)
+	}
+	return buf, nil
+}
+
+// decodePayload is the inverse of appendPayload. It requires the payload to
+// be exactly consumed: trailing bytes inside a CRC-valid frame are format
+// corruption.
+func decodePayload(b []byte) (Record, error) {
+	le := binary.LittleEndian
+	if len(b) < 9 {
+		return Record{}, fmt.Errorf("wal: payload of %d bytes is shorter than any record", len(b))
+	}
+	rec := Record{Kind: Kind(b[0]), ID: int64(le.Uint64(b[1:9]))}
+	rest := b[9:]
+	switch rec.Kind {
+	case KindInsert:
+		if len(rest) < 4 {
+			return Record{}, fmt.Errorf("wal: insert record truncated before dimensionality")
+		}
+		dim := le.Uint32(rest[:4])
+		rest = rest[4:]
+		if dim == 0 || dim > maxRecordDim {
+			return Record{}, fmt.Errorf("wal: implausible record dimensionality %d", dim)
+		}
+		if uint32(len(rest)) != 8*dim {
+			return Record{}, fmt.Errorf("wal: insert record carries %d coordinate bytes for dim %d", len(rest), dim)
+		}
+		rec.Point = make([]float64, dim)
+		for j := range rec.Point {
+			rec.Point[j] = math.Float64frombits(le.Uint64(rest[8*j:]))
+		}
+	case KindDelete:
+		if len(rest) != 0 {
+			return Record{}, fmt.Errorf("wal: delete record carries %d trailing bytes", len(rest))
+		}
+	default:
+		return Record{}, fmt.Errorf("wal: unknown record kind %d", rec.Kind)
+	}
+	if rec.ID < 0 {
+		return Record{}, fmt.Errorf("wal: negative record id %d", rec.ID)
+	}
+	return rec, nil
+}

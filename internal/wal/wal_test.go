@@ -1,0 +1,444 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/iofault"
+)
+
+func testRecords(n, dim int) []Record {
+	rng := rand.New(rand.NewSource(42))
+	recs := make([]Record, 0, n)
+	for i := 0; i < n; i++ {
+		if i > 0 && rng.Intn(4) == 0 {
+			recs = append(recs, Record{Kind: KindDelete, ID: int64(rng.Intn(i))})
+			continue
+		}
+		p := make([]float64, dim)
+		for j := range p {
+			p[j] = rng.NormFloat64()
+		}
+		recs = append(recs, Record{Kind: KindInsert, ID: int64(i), Point: p})
+	}
+	return recs
+}
+
+func collectReplay(t *testing.T, fsys iofault.FS, dir string) ([]Record, ReplayStats) {
+	t.Helper()
+	var got []Record
+	st, err := Replay(fsys, dir, func(r Record) error {
+		got = append(got, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	return got, st
+}
+
+func recordsEqual(a, b Record) bool {
+	if a.Kind != b.Kind || a.ID != b.ID || len(a.Point) != len(b.Point) {
+		return false
+	}
+	for i := range a.Point {
+		if math.Float64bits(a.Point[i]) != math.Float64bits(b.Point[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestAppendReplayRoundtrip(t *testing.T) {
+	m := iofault.NewMem()
+	l, err := Open("wal", Options{FS: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := testRecords(50, 4)
+	for _, r := range want {
+		if err := l.Append(r); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, st := collectReplay(t, m, "wal")
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !recordsEqual(got[i], want[i]) {
+			t.Fatalf("record %d mismatch: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+	if st.TornSegments != 0 || st.TornBytes != 0 {
+		t.Fatalf("clean log reported torn data: %+v", st)
+	}
+	if s := l.Stats(); s.Appends != uint64(len(want)) || s.Syncs == 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestReplayMissingDir(t *testing.T) {
+	m := iofault.NewMem()
+	st, err := Replay(m, "nowhere", func(Record) error { t.Fatal("apply called"); return nil })
+	if err != nil {
+		t.Fatalf("missing dir must be an empty log, got %v", err)
+	}
+	if st.Segments != 0 || st.Records != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestTornTailEveryOffset is the crash matrix at the log layer: write a log
+// under SyncAlways, then for EVERY possible truncation length of the segment
+// bytes, replay the prefix and check that (a) replay never errors, (b) the
+// record count equals the number of fully contained records, and (c) the
+// replayed records are bit-exact prefixes of what was appended.
+func TestTornTailEveryOffset(t *testing.T) {
+	m := iofault.NewMem()
+	l, err := Open("wal", Options{FS: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := testRecords(12, 3)
+	// Frame boundaries: offsets at which exactly k records are durable.
+	boundaries := []int{len(segMagic)}
+	for _, r := range want {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+		payload, _ := appendPayload(nil, r)
+		boundaries = append(boundaries, boundaries[len(boundaries)-1]+frameBytes+len(payload))
+	}
+	seg := l.ActiveSegmentPath()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full, ok := m.Bytes(seg)
+	if !ok {
+		t.Fatalf("segment %s missing", seg)
+	}
+	if len(full) != boundaries[len(boundaries)-1] {
+		t.Fatalf("segment is %d bytes, frame math says %d", len(full), boundaries[len(boundaries)-1])
+	}
+
+	for cut := 0; cut <= len(full); cut++ {
+		img := iofault.NewMem()
+		img.SetFile(seg, full[:cut])
+		var got []Record
+		st, err := Replay(img, "wal", func(r Record) error {
+			got = append(got, r)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("cut=%d: replay error %v", cut, err)
+		}
+		wantN := 0
+		for wantN < len(want) && boundaries[wantN+1] <= cut {
+			wantN++
+		}
+		if len(got) != wantN {
+			t.Fatalf("cut=%d: replayed %d records, want %d", cut, len(got), wantN)
+		}
+		for i := 0; i < wantN; i++ {
+			if !recordsEqual(got[i], want[i]) {
+				t.Fatalf("cut=%d: record %d mismatch", cut, i)
+			}
+		}
+		atBoundary := cut == 0 // an empty file has no torn bytes to report
+		for _, b := range boundaries {
+			if cut == b {
+				atBoundary = true
+			}
+		}
+		if atBoundary != (st.TornSegments == 0) {
+			t.Fatalf("cut=%d: torn=%d, atBoundary=%v", cut, st.TornSegments, atBoundary)
+		}
+	}
+}
+
+// TestBitFlipDetected flips each byte of a record's payload region and
+// checks the CRC stops replay there without error.
+func TestBitFlipDetected(t *testing.T) {
+	m := iofault.NewMem()
+	l, _ := Open("wal", Options{FS: m})
+	want := testRecords(3, 2)
+	for _, r := range want {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seg := l.ActiveSegmentPath()
+	l.Close()
+	full, _ := m.Bytes(seg)
+
+	// Flip a byte inside the second record's payload.
+	p0, _ := appendPayload(nil, want[0])
+	off := len(segMagic) + frameBytes + len(p0) + frameBytes + 3
+	corrupt := append([]byte(nil), full...)
+	corrupt[off] ^= 0xFF
+	img := iofault.NewMem()
+	img.SetFile(seg, corrupt)
+	got, st := collectReplay(t, img, "wal")
+	if len(got) != 1 || !recordsEqual(got[0], want[0]) {
+		t.Fatalf("replayed %d records past a bit flip, want 1 clean record", len(got))
+	}
+	if st.TornSegments != 1 {
+		t.Fatalf("bit flip not reported as torn: %+v", st)
+	}
+}
+
+func TestRotationAndMultiSegmentReplay(t *testing.T) {
+	m := iofault.NewMem()
+	l, err := Open("wal", Options{FS: m, SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := testRecords(40, 3)
+	for _, r := range want {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := l.Stats()
+	if st.Rotations == 0 {
+		t.Fatalf("tiny segments but no rotations: %+v", st)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, rst := collectReplay(t, m, "wal")
+	if rst.Segments < 2 {
+		t.Fatalf("expected multiple segments, replayed %d", rst.Segments)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d of %d records across segments", len(got), len(want))
+	}
+	for i := range want {
+		if !recordsEqual(got[i], want[i]) {
+			t.Fatalf("record %d mismatch after rotation", i)
+		}
+	}
+}
+
+func TestRotateTruncateBefore(t *testing.T) {
+	m := iofault.NewMem()
+	l, err := Open("wal", Options{FS: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := testRecords(10, 2)
+	for _, r := range pre {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cut, err := l.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	post := Record{Kind: KindInsert, ID: 10, Point: []float64{1, 2}}
+	if err := l.Append(post); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.TruncateBefore(cut); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := collectReplay(t, m, "wal")
+	if len(got) != 1 || !recordsEqual(got[0], post) {
+		t.Fatalf("after compaction replay = %d records (want just the post-cut one)", len(got))
+	}
+	// The cut never removes the active segment even with cut > active.
+	l2, err := Open("wal", Options{FS: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.TruncateBefore(1 << 62); err != nil {
+		t.Fatal(err)
+	}
+	if l2.Stats().Compactions != 1 {
+		t.Fatalf("stats = %+v", l2.Stats())
+	}
+	active := l2.ActiveSegmentPath()
+	if _, ok := m.Bytes(active); !ok {
+		t.Fatal("TruncateBefore removed the active segment")
+	}
+	l2.Close()
+}
+
+func TestWriteFailureLatches(t *testing.T) {
+	m := iofault.NewMem()
+	l, err := Open("wal", Options{FS: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := Record{Kind: KindInsert, ID: 0, Point: []float64{1, 2, 3}}
+	if err := l.Append(good); err != nil {
+		t.Fatal(err)
+	}
+	// Fail 5 bytes into the next record: a torn, unacknowledged append.
+	m.FailWritesAfter(l.ActiveSegmentPath(), 5, iofault.ErrNoSpace)
+	err = l.Append(Record{Kind: KindInsert, ID: 1, Point: []float64{4, 5, 6}})
+	if !errors.Is(err, iofault.ErrNoSpace) && !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("append into full disk = %v", err)
+	}
+	// Sticky: even after the fault clears, the log stays down.
+	m.ClearFaults()
+	if err := l.Append(good); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("append after latch = %v, want ErrUnavailable", err)
+	}
+	if !l.Stats().Failed {
+		t.Fatal("Stats().Failed = false after latch")
+	}
+	l.Close()
+	// The durable prefix still replays cleanly: one good record, torn tail.
+	got, st := collectReplay(t, m, "wal")
+	if len(got) != 1 || !recordsEqual(got[0], good) {
+		t.Fatalf("replay after torn append = %d records", len(got))
+	}
+	if st.TornSegments != 1 || st.TornBytes != 5 {
+		t.Fatalf("torn stats = %+v, want 1 segment / 5 bytes", st)
+	}
+}
+
+func TestSyncFailureLatches(t *testing.T) {
+	m := iofault.NewMem()
+	l, err := Open("wal", Options{FS: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.FailSync(l.ActiveSegmentPath(), iofault.ErrSyncFailed)
+	err = l.Append(Record{Kind: KindDelete, ID: 0})
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("append with failing fsync = %v, want ErrUnavailable", err)
+	}
+	m.ClearFaults()
+	if err := l.Append(Record{Kind: KindDelete, ID: 0}); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("log un-latched itself: %v", err)
+	}
+	st := l.Stats()
+	if st.SyncFailures != 1 || !st.Failed {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPolicies(t *testing.T) {
+	t.Run("never", func(t *testing.T) {
+		m := iofault.NewMem()
+		l, _ := Open("wal", Options{FS: m, Policy: SyncNever})
+		seg := l.ActiveSegmentPath()
+		for _, r := range testRecords(5, 2) {
+			if err := l.Append(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Only the segment header fsync; appends never sync.
+		if got := m.SyncedLen(seg); got != len(segMagic) {
+			t.Fatalf("SyncNever synced %d bytes, want header only (%d)", got, len(segMagic))
+		}
+		if err := l.Close(); err != nil { // Close flushes
+			t.Fatal(err)
+		}
+		if data, _ := m.Bytes(seg); m.SyncedLen(seg) != len(data) {
+			t.Fatal("Close did not flush")
+		}
+	})
+	t.Run("interval", func(t *testing.T) {
+		m := iofault.NewMem()
+		l, _ := Open("wal", Options{FS: m, Policy: SyncInterval, Interval: 5 * time.Millisecond})
+		seg := l.ActiveSegmentPath()
+		if err := l.Append(Record{Kind: KindDelete, ID: 7}); err != nil {
+			t.Fatal(err)
+		}
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			data, _ := m.Bytes(seg)
+			if m.SyncedLen(seg) == len(data) {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("interval syncer never flushed the append")
+			}
+			time.Sleep(time.Millisecond)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("always", func(t *testing.T) {
+		m := iofault.NewMem()
+		l, _ := Open("wal", Options{FS: m})
+		seg := l.ActiveSegmentPath()
+		if err := l.Append(Record{Kind: KindDelete, ID: 7}); err != nil {
+			t.Fatal(err)
+		}
+		data, _ := m.Bytes(seg)
+		if m.SyncedLen(seg) != len(data) {
+			t.Fatal("SyncAlways append returned before the record was durable")
+		}
+		l.Close()
+	})
+}
+
+func TestParsePolicy(t *testing.T) {
+	for _, p := range []Policy{SyncAlways, SyncInterval, SyncNever} {
+		got, err := ParsePolicy(p.String())
+		if err != nil || got != p {
+			t.Fatalf("ParsePolicy(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	if _, err := ParsePolicy("sometimes"); err == nil {
+		t.Fatal("ParsePolicy accepted garbage")
+	}
+}
+
+func TestOpenStartsFreshSegment(t *testing.T) {
+	m := iofault.NewMem()
+	l1, _ := Open("wal", Options{FS: m})
+	first := l1.ActiveSegmentPath()
+	l1.Append(Record{Kind: KindDelete, ID: 1})
+	l1.Close()
+	l2, _ := Open("wal", Options{FS: m})
+	if l2.ActiveSegmentPath() == first {
+		t.Fatal("reopen reused the previous segment")
+	}
+	l2.Close()
+	got, st := collectReplay(t, m, "wal")
+	if len(got) != 1 || st.Segments != 2 {
+		t.Fatalf("replay = %d records over %d segments", len(got), st.Segments)
+	}
+}
+
+func TestReplayApplyErrorAborts(t *testing.T) {
+	m := iofault.NewMem()
+	l, _ := Open("wal", Options{FS: m})
+	for _, r := range testRecords(5, 2) {
+		l.Append(r)
+	}
+	l.Close()
+	boom := fmt.Errorf("state mismatch")
+	n := 0
+	_, err := Replay(m, "wal", func(Record) error {
+		n++
+		if n == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Replay = %v, want wrapped apply error", err)
+	}
+	if n != 3 {
+		t.Fatalf("apply called %d times after error, want 3", n)
+	}
+}
