@@ -3,9 +3,9 @@
 # §"Construction hot path" and §"Query engine").
 GO ?= go
 
-.PHONY: check vet build test race serve-smoke crash-test bench-smoke bench-build bench-query bench-dynamic bench
+.PHONY: check vet build test race serve-smoke crash-test stale-test bench-smoke bench-build bench-query bench-dynamic bench-bulk bench
 
-check: vet build test race serve-smoke crash-test bench-smoke
+check: vet build test race serve-smoke crash-test stale-test bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -39,6 +39,12 @@ crash-test:
 	$(GO) test -count 1 -run 'WAL|Crash|Torn|Recover|Compaction|Readiness|Snapshot' ./internal/nncell/ ./internal/shard/ ./internal/server/
 	$(GO) test -count 1 -run 'TestServeWALRecovery|TestServeLoadConflictFlags' ./cmd/nncell/
 
+# The lazy-repair gate: exact serving while repairs are pending (batch and
+# per-op inserts against the scan oracle), batch atomicity/rollback, the
+# repair pool under mixed readers/writers, and the batch WAL crash matrix.
+stale-test:
+	$(GO) test -count 1 -run 'Stale|Repair|Batch|LazyDelete' ./internal/nncell/ ./internal/shard/ ./internal/wal/
+
 # One iteration of the hot-path benchmarks: proves the 0 allocs/op contracts
 # of the warm LP loop and the warm query engine, and that construction and
 # the query-bench tool still run end to end.
@@ -62,6 +68,13 @@ bench-query:
 	$(GO) run ./cmd/experiments -bench-query BENCH_query.json
 
 # Regenerate the machine-readable dynamic-maintenance record: concurrent
-# insert throughput at shard counts 1/2/4/8 (d=8), tracked across PRs.
+# insert throughput at shard counts 1/2/4/8 (d=8) for base sizes 512 and
+# 10^4, tracked across PRs.
 bench-dynamic:
 	$(GO) run ./cmd/experiments -bench-dynamic BENCH_dynamic.json
+
+# Regenerate the machine-readable bulk-maintenance record: InsertBatch vs
+# per-op Insert at n=10^4 and 10^5 (ack + flush), plus the auto-threshold
+# constraint-selection trade. The 10^5 run takes several minutes.
+bench-bulk:
+	$(GO) run ./cmd/experiments -bench-bulk BENCH_bulk.json

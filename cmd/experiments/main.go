@@ -11,6 +11,7 @@
 //	experiments -bench-build BENCH_build.json
 //	experiments -bench-query BENCH_query.json
 //	experiments -bench-dynamic BENCH_dynamic.json
+//	experiments -bench-bulk BENCH_bulk.json
 package main
 
 import (
@@ -39,10 +40,14 @@ func main() {
 		benchBuild   = flag.String("bench-build", "", "measure Build for all four algorithms and write the JSON report to this path (skips figures)")
 		benchQuery   = flag.String("bench-query", "", "measure NearestNeighbor (QueryCtx engine vs seed path) for all four algorithms and write the JSON report to this path (skips figures)")
 		benchDynamic = flag.String("bench-dynamic", "", "measure concurrent insert throughput at shard counts 1,2,4,8 and write the JSON report to this path (skips figures)")
-		benchN       = flag.Int("bench-n", 0, "database size for -bench-build/-bench-query (default 250) and -bench-dynamic (default 512)")
+		benchBulk    = flag.String("bench-bulk", "", "measure InsertBatch vs per-op Insert at bulk sizes plus the auto-threshold trade, and write the JSON report to this path (skips figures)")
+		benchN       = flag.Int("bench-n", 0, "database size for -bench-build/-bench-query (default 250); overrides -bench-sizes with a single size for -bench-dynamic/-bench-bulk")
+		benchSizes   = flag.String("bench-sizes", "", "comma-separated base sizes for -bench-dynamic (default 512,10000) and -bench-bulk (default 10000,100000)")
 		benchDims    = flag.String("bench-dims", "", "comma-separated dimensions for -bench-build (default 4,8,16) and -bench-query (default 2,4,8,16)")
 		benchShards  = flag.String("bench-shards", "", "comma-separated shard counts for -bench-dynamic (default 1,2,4,8)")
 		benchWorkers = flag.Int("bench-workers", 0, "concurrent insert workers for -bench-dynamic (default 4)")
+		benchBatch   = flag.Int("bench-batch", 0, "batch size for -bench-bulk (default 1024)")
+		benchBase    = flag.Int("bench-baseline-ops", 0, "per-op insert count for the -bench-bulk baseline (default 6; halved at n>=50000)")
 	)
 	flag.Parse()
 
@@ -86,12 +91,20 @@ func main() {
 		return
 	}
 
+	benchSizeList, err := parseInts(*benchSizes)
+	if err != nil {
+		fatalf("bad -bench-sizes: %v", err)
+	}
+	if *benchN > 0 && (*benchDynamic != "" || *benchBulk != "") {
+		benchSizeList = []int{*benchN}
+	}
+
 	if *benchDynamic != "" {
 		shards, err := parseInts(*benchShards)
 		if err != nil {
 			fatalf("bad -bench-shards: %v", err)
 		}
-		rep, err := experiments.BenchDynamic(*benchN, 8, shards, *benchWorkers)
+		rep, err := experiments.BenchDynamic(benchSizeList, 8, shards, *benchWorkers)
 		if err != nil {
 			fatalf("bench-dynamic: %v", err)
 		}
@@ -99,10 +112,30 @@ func main() {
 			fatalf("bench-dynamic: %v", err)
 		}
 		for _, r := range rep.Results {
-			fmt.Printf("shards=%-2d d=%-3d %12.0f ns/insert %10.0f inserts/s %6.2fx vs 1 shard\n",
-				r.Shards, r.Dim, r.NsPerInsert, r.InsertsPerSec, r.SpeedupVs1Shard)
+			fmt.Printf("n=%-6d shards=%-2d d=%-3d %-12s lazy=%-5v %12.0f ns/insert %10.0f inserts/s %6.2fx vs 1 shard\n",
+				r.BaseN, r.Shards, r.Dim, r.Algorithm, r.LazyRepair, r.NsPerInsert, r.InsertsPerSec, r.SpeedupVs1Shard)
 		}
 		fmt.Printf("wrote %s\n", *benchDynamic)
+		return
+	}
+
+	if *benchBulk != "" {
+		rep, err := experiments.BenchBulk(benchSizeList, 8, *benchBatch, *benchBase)
+		if err != nil {
+			fatalf("bench-bulk: %v", err)
+		}
+		if err := rep.WriteJSON(*benchBulk); err != nil {
+			fatalf("bench-bulk: %v", err)
+		}
+		for _, r := range rep.Results {
+			fmt.Printf("n=%-6d batch=%-5d baseline %10.0f ns/insert | ack %10.0f ns/insert (%7.1fx) | flush %10.0f ns/insert (%6.1fx) | stale@ack %d\n",
+				r.N, r.BatchSize, r.BaselineNsPerInsert, r.AckNsPerInsert, r.SpeedupAck, r.FlushNsPerInsert, r.SpeedupFlush, r.StaleAtAck)
+		}
+		for _, a := range rep.AutoThreshold {
+			fmt.Printf("auto-threshold %-16s n=%-5d build %8.0f ns/pt %8.1f cons/cell | query %8.0f ns %6.1f cand/q recall=%.3f\n",
+				a.Variant, a.N, a.BuildNsPerPoint, a.ConstraintsPerCell, a.QueryNsPerOp, a.CandidatesPerQuery, a.Recall)
+		}
+		fmt.Printf("wrote %s\n", *benchBulk)
 		return
 	}
 
@@ -110,7 +143,6 @@ func main() {
 		N: *n, SmallN: *smallN, Queries: *queries, Seed: *seed,
 		CachePages: *cache, Decompose: *decompose,
 	}
-	var err error
 	if cfg.Dims, err = parseInts(*dims); err != nil {
 		fatalf("bad -dims: %v", err)
 	}

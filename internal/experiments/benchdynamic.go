@@ -17,21 +17,30 @@ import (
 	"repro/internal/vec"
 )
 
-// DynamicBenchResult is one measured shard count of the dynamic-maintenance
-// benchmark: the wall-clock throughput of a concurrent insert stream into a
-// sharded index. Two effects drive the scaling: routed writes to different
-// shards take disjoint locks (true write parallelism), and each shard holds
-// 1/S of the points, so the affected-cell set and every LP in it are
-// smaller.
+// DynamicBenchResult is one measured (base size, shard count) cell of the
+// dynamic-maintenance benchmark: the wall-clock throughput of a concurrent
+// insert stream into a sharded index. Two effects drive the shard scaling:
+// routed writes to different shards take disjoint locks (true write
+// parallelism), and each shard holds 1/S of the points, so the affected-cell
+// set and every LP in it are smaller.
 type DynamicBenchResult struct {
-	Shards        int     `json:"shards"`
-	Dim           int     `json:"dim"`
-	BaseN         int     `json:"base_n"`
-	Inserts       int     `json:"inserts"`
-	Workers       int     `json:"workers"`
+	Shards  int `json:"shards"`
+	Dim     int `json:"dim"`
+	BaseN   int `json:"base_n"`
+	Inserts int `json:"inserts"`
+	Workers int `json:"workers"`
+	// Algorithm and LazyRepair document the per-size index configuration:
+	// small bases keep the seed's eager Sphere config (comparable with
+	// earlier BENCH_dynamic.json revisions); bases at or above the
+	// auto-threshold use the bulk-scale config — Correct with the
+	// NN-Direction auto-switch and lazy repair, with one RepairWait
+	// included in the measured time so the throughput is fully-repaired.
+	Algorithm     string  `json:"algorithm"`
+	LazyRepair    bool    `json:"lazy_repair"`
 	NsPerInsert   float64 `json:"ns_per_insert"`
 	InsertsPerSec float64 `json:"inserts_per_sec"`
-	// SpeedupVs1Shard = NsPerInsert(S=1) / NsPerInsert(this S).
+	// SpeedupVs1Shard = NsPerInsert(S=1) / NsPerInsert(this S), within the
+	// same base size.
 	SpeedupVs1Shard float64 `json:"speedup_vs_1_shard"`
 }
 
@@ -39,7 +48,7 @@ type DynamicBenchResult struct {
 // emitted by `cmd/experiments -bench-dynamic` (BENCH_dynamic.json), tracked
 // across PRs alongside BENCH_build.json and BENCH_query.json.
 type DynamicBenchReport struct {
-	BaseN   int                  `json:"base_n"`
+	Sizes   []int                `json:"sizes"`
 	Dim     int                  `json:"dim"`
 	Inserts int                  `json:"inserts"`
 	Workers int                  `json:"workers"`
@@ -47,14 +56,16 @@ type DynamicBenchReport struct {
 	Results []DynamicBenchResult `json:"results"`
 }
 
-// BenchDynamic measures concurrent insert throughput at each shard count:
-// for every S it builds a fresh sharded index over the same baseN base
-// points, then times `workers` goroutines draining the same insert stream
-// through Sharded.Insert. The base and inserted point sets are identical
-// across shard counts, so the only variable is the partition width.
-func BenchDynamic(baseN, d int, shardCounts []int, workers int) (*DynamicBenchReport, error) {
-	if baseN <= 0 {
-		baseN = 512
+// BenchDynamic measures concurrent insert throughput at each (base size,
+// shard count) pair: for every combination it builds a fresh sharded index
+// over the same base points, then times `workers` goroutines draining the
+// same insert stream through Sharded.Insert (plus, for lazy configurations,
+// one final RepairWait so the measured stream is fully repaired). The base
+// and inserted point sets are identical across shard counts, so within one
+// size the only variable is the partition width.
+func BenchDynamic(sizes []int, d int, shardCounts []int, workers int) (*DynamicBenchReport, error) {
+	if len(sizes) == 0 {
+		sizes = []int{512, 10_000}
 	}
 	if d <= 0 {
 		d = 8
@@ -66,76 +77,96 @@ func BenchDynamic(baseN, d int, shardCounts []int, workers int) (*DynamicBenchRe
 		workers = 4
 	}
 	const inserts = 96
-	rng := rand.New(rand.NewSource(1998))
-	pts := dataset.Deduplicate(dataset.Uniform(rng, baseN+inserts, d))
-	if len(pts) < baseN+inserts {
-		return nil, fmt.Errorf("bench-dynamic: only %d unique points for base %d + inserts %d", len(pts), baseN, inserts)
-	}
-	base, extra := pts[:baseN], pts[baseN:baseN+inserts]
+	rep := &DynamicBenchReport{Sizes: sizes, Dim: d, Inserts: inserts, Workers: workers, Go: runtime.Version()}
+	for _, baseN := range sizes {
+		rng := rand.New(rand.NewSource(1998))
+		pts := dataset.Deduplicate(dataset.Uniform(rng, baseN+inserts, d))
+		if len(pts) < baseN+inserts {
+			return nil, fmt.Errorf("bench-dynamic: only %d unique points for base %d + inserts %d", len(pts), baseN, inserts)
+		}
+		base, extra := pts[:baseN], pts[baseN:baseN+inserts]
 
-	rep := &DynamicBenchReport{BaseN: baseN, Dim: d, Inserts: inserts, Workers: workers, Go: runtime.Version()}
-	var oneShardNs float64
-	for _, S := range shardCounts {
-		sx, err := shard.Build(base, vec.UnitCube(d), shard.Options{
-			Shards: S,
-			Pager:  pager.Config{CachePages: 64},
-			Index:  nncell.Options{Algorithm: nncell.Sphere},
-		})
-		if err != nil {
-			return nil, fmt.Errorf("bench-dynamic: shards=%d: %w", S, err)
+		// Seed-comparable eager config below the auto-threshold scale;
+		// bulk-scale lazy config at or above it (per-op eager maintenance
+		// at n=10^4 repairs a large fraction of all cells per insert —
+		// the regime InsertBatch/LazyRepair exists for). NN-Direction is
+		// pinned directly rather than via the auto-threshold so every
+		// shard count measures the same constraint selection (per-shard
+		// live counts straddle the threshold as S grows).
+		ixOpts := nncell.Options{Algorithm: nncell.Sphere}
+		lazy := baseN >= nncell.DefaultAutoThreshold
+		if lazy {
+			ixOpts = nncell.Options{Algorithm: nncell.NNDirection, LazyRepair: true}
 		}
-		var (
-			next   atomic.Int64
-			wg     sync.WaitGroup
-			errMu  sync.Mutex
-			runErr error
-		)
-		start := time.Now()
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for {
-					i := int(next.Add(1)) - 1
-					if i >= len(extra) {
-						return
-					}
-					if _, err := sx.Insert(extra[i]); err != nil {
-						errMu.Lock()
-						if runErr == nil {
-							runErr = err
+
+		var oneShardNs float64
+		for _, S := range shardCounts {
+			sx, err := shard.Build(base, vec.UnitCube(d), shard.Options{
+				Shards: S,
+				Pager:  pager.Config{CachePages: 64},
+				Index:  ixOpts,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("bench-dynamic: n=%d shards=%d: %w", baseN, S, err)
+			}
+			var (
+				next   atomic.Int64
+				wg     sync.WaitGroup
+				errMu  sync.Mutex
+				runErr error
+			)
+			start := time.Now()
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						i := int(next.Add(1)) - 1
+						if i >= len(extra) {
+							return
 						}
-						errMu.Unlock()
-						return
+						if _, err := sx.Insert(extra[i]); err != nil {
+							errMu.Lock()
+							if runErr == nil {
+								runErr = err
+							}
+							errMu.Unlock()
+							return
+						}
 					}
-				}
-			}()
+				}()
+			}
+			wg.Wait()
+			if lazy {
+				sx.RepairWait()
+			}
+			elapsed := time.Since(start)
+			if runErr != nil {
+				return nil, fmt.Errorf("bench-dynamic: n=%d shards=%d: %w", baseN, S, runErr)
+			}
+			if got := sx.Len(); got != baseN+inserts {
+				return nil, fmt.Errorf("bench-dynamic: n=%d shards=%d: %d points after inserts, want %d", baseN, S, got, baseN+inserts)
+			}
+			nsPer := float64(elapsed.Nanoseconds()) / float64(inserts)
+			res := DynamicBenchResult{
+				Shards:        S,
+				Dim:           d,
+				BaseN:         baseN,
+				Inserts:       inserts,
+				Workers:       workers,
+				Algorithm:     ixOpts.Algorithm.String(),
+				LazyRepair:    lazy,
+				NsPerInsert:   nsPer,
+				InsertsPerSec: 1e9 / nsPer,
+			}
+			if S == 1 {
+				oneShardNs = nsPer
+			}
+			if oneShardNs > 0 {
+				res.SpeedupVs1Shard = oneShardNs / nsPer
+			}
+			rep.Results = append(rep.Results, res)
 		}
-		wg.Wait()
-		elapsed := time.Since(start)
-		if runErr != nil {
-			return nil, fmt.Errorf("bench-dynamic: shards=%d: %w", S, runErr)
-		}
-		if got := sx.Len(); got != baseN+inserts {
-			return nil, fmt.Errorf("bench-dynamic: shards=%d: %d points after inserts, want %d", S, got, baseN+inserts)
-		}
-		nsPer := float64(elapsed.Nanoseconds()) / float64(inserts)
-		res := DynamicBenchResult{
-			Shards:        S,
-			Dim:           d,
-			BaseN:         baseN,
-			Inserts:       inserts,
-			Workers:       workers,
-			NsPerInsert:   nsPer,
-			InsertsPerSec: 1e9 / nsPer,
-		}
-		if S == 1 {
-			oneShardNs = nsPer
-		}
-		if oneShardNs > 0 {
-			res.SpeedupVs1Shard = oneShardNs / nsPer
-		}
-		rep.Results = append(rep.Results, res)
 	}
 	return rep, nil
 }

@@ -47,10 +47,10 @@ func (ix *Index) approximateCell(cc *cellCtx, i int) ([]vec.Rect, error) {
 		cons []lp.Constraint
 		err  error
 	)
-	if ix.opts.Algorithm == Correct {
+	if alg := ix.effectiveAlgorithm(); alg == Correct {
 		mbr, cons, err = ix.correctMBR(cc, i)
 	} else {
-		ids := ix.selectConstraintPoints(i)
+		ids := ix.selectConstraintPoints(i, alg)
 		cons = ix.bisectors(cc, p, ids)
 		mbr, err = ix.solveMBR(cc, p, cons)
 	}
@@ -229,12 +229,26 @@ func cornerDist(p vec.Point, r vec.Rect) float64 {
 	return math.Sqrt(s)
 }
 
+// effectiveAlgorithm resolves the constraint selection actually used for
+// the next solve: the configured algorithm, except that Correct switches to
+// NN-Direction once the live point count reaches AutoThreshold. Correct
+// solves against O(n) constraint points per cell — quadratic total work at
+// bulk scale — while NN-Direction keeps every set O(d); the switch is sound
+// by Lemma 1 (any subset only enlarges the approximation, queries stay
+// exact). Callers hold ix.mu (alive is guarded by it).
+func (ix *Index) effectiveAlgorithm() Algorithm {
+	if ix.opts.Algorithm == Correct && ix.opts.AutoThreshold > 0 && ix.alive >= ix.opts.AutoThreshold {
+		return NNDirection
+	}
+	return ix.opts.Algorithm
+}
+
 // selectConstraintPoints implements the optimized constraint-selection
 // algorithms (Point, Sphere, NN-Direction). Any subset of the full point set
 // is sound (Lemma 1): fewer constraints can only enlarge the approximation.
-func (ix *Index) selectConstraintPoints(i int) []int {
+func (ix *Index) selectConstraintPoints(i int, alg Algorithm) []int {
 	p := ix.points[i]
-	switch ix.opts.Algorithm {
+	switch alg {
 	case PointAlg:
 		return ix.capClosest(p, ix.leafRegionPoints(i, func(r vec.Rect) bool { return r.Contains(p) }))
 	case Sphere:
@@ -243,7 +257,7 @@ func (ix *Index) selectConstraintPoints(i int) []int {
 	case NNDirection:
 		return ix.nnDirectionPoints(i)
 	default:
-		panic(fmt.Sprintf("nncell: selectConstraintPoints with algorithm %v", ix.opts.Algorithm))
+		panic(fmt.Sprintf("nncell: selectConstraintPoints with algorithm %v", alg))
 	}
 }
 

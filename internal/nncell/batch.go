@@ -1,0 +1,235 @@
+package nncell
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/vec"
+	"repro/internal/wal"
+)
+
+// Batched maintenance amortizes the dominant cost of the dynamic case. A
+// per-point Insert recomputes every affected cell once per point, so a run
+// of m nearby inserts re-solves heavily overlapping affected sets m times.
+// InsertBatch stages all m points first, approximates the m new cells in
+// parallel, computes the UNION of affected cells once, and recomputes (or,
+// with LazyRepair, marks stale) each touched cell exactly once — and logs
+// the whole batch as a single WAL record, one fsync instead of m.
+
+// InsertBatch adds the points atomically and returns their assigned ids (a
+// contiguous run). Either every point commits or none does: all validation
+// and every LP solve happens before the WAL append, and the append precedes
+// the first committed mutation, so the crash-consistency contract of Insert
+// ("logged iff committed iff acknowledged") carries over with the batch as
+// the commit unit. An empty batch is a no-op.
+func (ix *Index) InsertBatch(ps []vec.Point) ([]int, error) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return ix.insertBatchLocked(ps, true)
+}
+
+// insertBatchLocked is InsertBatch under an already-held write lock; logIt
+// as in insertLocked.
+func (ix *Index) insertBatchLocked(ps []vec.Point, logIt bool) ([]int, error) {
+	if len(ps) == 0 {
+		return nil, nil
+	}
+	for k, p := range ps {
+		if p.Dim() != ix.dim {
+			return nil, fmt.Errorf("nncell: batch point %d has dim %d, want %d", k, p.Dim(), ix.dim)
+		}
+		if !ix.bounds.Contains(p) {
+			return nil, fmt.Errorf("nncell: batch point %d = %v outside data space %v", k, p, ix.bounds)
+		}
+	}
+
+	// Stage every point. Staging point k before checking point k+1 lets
+	// hasDuplicate catch within-batch duplicates and snapshot duplicates
+	// with the same index probe. Everything staged is rolled back on error.
+	base := len(ix.points)
+	staged := 0
+	rollback := func() {
+		for k := staged - 1; k >= 0; k-- {
+			id := base + k
+			if !ix.dataIdx.Delete(vec.PointRect(ix.points[id]), int64(id)) {
+				panic(fmt.Sprintf("nncell: staged point %d missing from data index during rollback", id))
+			}
+		}
+		ix.points = ix.points[:base]
+		ix.ptsFlat = ix.ptsFlat[:base*ix.dim]
+		ix.cells = ix.cells[:base]
+		ix.alive -= staged
+	}
+	ids := make([]int, len(ps))
+	for k, p := range ps {
+		if ix.hasDuplicate(p) {
+			rollback()
+			return nil, fmt.Errorf("nncell: duplicate point %v (batch index %d)", p, k)
+		}
+		id := base + k
+		ids[k] = id
+		ix.points = append(ix.points, p.Clone())
+		ix.ptsFlat = append(ix.ptsFlat, p...)
+		ix.cells = append(ix.cells, nil)
+		ix.alive++
+		ix.dataIdx.Insert(vec.PointRect(p), int64(id))
+		staged++
+	}
+
+	// Approximate all new cells in parallel against the post-batch point
+	// set (recomputeCells is Build's worker-pool pattern; the new cells are
+	// not in the fragment tree yet, so nothing committed is touched).
+	cc := newCellCtx(ix.dim)
+	newFrags, err := ix.recomputeCells(cc, ids)
+	if err != nil {
+		rollback()
+		return nil, err
+	}
+
+	// Union of affected cells: every pre-existing cell whose stored
+	// approximation intersects any new cell's outer MBR, deduplicated — the
+	// step that makes the batch path amortize, each touched cell handled
+	// once instead of once per overlapping insert.
+	seen := make(map[int]bool)
+	var affected []int
+	for k := range ids {
+		outer := outerMBR(newFrags[k], ix.dim)
+		for _, aid := range ix.intersectingCells(outer, ids[k]) {
+			if !seen[aid] && aid < base {
+				seen[aid] = true
+				affected = append(affected, aid)
+			}
+		}
+	}
+
+	var stagedFrags [][]vec.Rect
+	if !ix.opts.LazyRepair {
+		stagedFrags, err = ix.recomputeCells(cc, affected)
+		if err != nil {
+			rollback()
+			return nil, err
+		}
+	}
+
+	// Durability before commit: one record, one fsync, for the whole batch.
+	if logIt && ix.wlog != nil {
+		rec := wal.Record{Kind: wal.KindInsertBatch, IDs: make([]int64, len(ids))}
+		rec.Coords = make([]float64, 0, len(ps)*ix.dim)
+		for k, p := range ps {
+			rec.IDs[k] = int64(ids[k])
+			rec.Coords = append(rec.Coords, p...)
+		}
+		if err := ix.wlog.Append(rec); err != nil {
+			rollback()
+			return nil, fmt.Errorf("nncell: logging insert batch: %w", err)
+		}
+	}
+
+	// Commit: pure tree/bookkeeping mutation, cannot fail.
+	for k, id := range ids {
+		ix.storeCell(id, newFrags[k])
+	}
+	if ix.opts.LazyRepair {
+		ix.markStaleLocked(affected)
+	} else {
+		ix.commitStaged(affected, stagedFrags)
+	}
+	return ids, nil
+}
+
+// DeleteBatch removes the identified points atomically, recomputing each
+// affected neighbor cell exactly once for the whole batch. Deletes are
+// always eager — a delete grows its neighbors' cells, so serving their old
+// MBRs would break Lemma 2's superset precondition (false dismissals).
+func (ix *Index) DeleteBatch(ids []int) error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return ix.deleteBatchLocked(ids, true)
+}
+
+// deleteBatchLocked is DeleteBatch under an already-held write lock; logIt
+// as in insertLocked.
+func (ix *Index) deleteBatchLocked(ids []int, logIt bool) error {
+	if len(ids) == 0 {
+		return nil
+	}
+	inBatch := make(map[int]bool, len(ids))
+	for k, id := range ids {
+		if id < 0 || id >= len(ix.points) || ix.points[id] == nil {
+			return fmt.Errorf("nncell: batch delete of unknown id %d", id)
+		}
+		if inBatch[id] {
+			return fmt.Errorf("nncell: id %d appears twice in delete batch (index %d)", id, k)
+		}
+		inBatch[id] = true
+	}
+
+	// Stage the removals so the recomputation LPs see the post-batch point
+	// set; committed structures stay untouched until every solve succeeds.
+	removed := make([]vec.Point, len(ids))
+	staged := 0
+	rollback := func() {
+		for k := staged - 1; k >= 0; k-- {
+			ix.points[ids[k]] = removed[k]
+			ix.alive++
+			ix.dataIdx.Insert(vec.PointRect(removed[k]), int64(ids[k]))
+		}
+	}
+	for k, id := range ids {
+		p := ix.points[id]
+		if !ix.dataIdx.Delete(vec.PointRect(p), int64(id)) {
+			rollback()
+			return fmt.Errorf("nncell: id %d missing from data index", id)
+		}
+		removed[k] = p
+		ix.points[id] = nil
+		ix.alive--
+		staged++
+	}
+
+	// Union of affected survivors: cells intersecting any deleted cell's
+	// approximation, recomputed once against the post-batch point set.
+	var affected []int
+	var stagedFrags [][]vec.Rect
+	if ix.alive > 0 {
+		seen := make(map[int]bool)
+		for _, id := range ids {
+			outer := outerMBR(ix.cells[id], ix.dim)
+			for _, aid := range ix.intersectingCells(outer, id) {
+				if !seen[aid] && !inBatch[aid] {
+					seen[aid] = true
+					affected = append(affected, aid)
+				}
+			}
+		}
+		var err error
+		stagedFrags, err = ix.recomputeCells(newCellCtx(ix.dim), affected)
+		if err != nil {
+			rollback()
+			return err
+		}
+	}
+
+	// Durability before commit, as in insertBatchLocked.
+	if logIt && ix.wlog != nil {
+		rec := wal.Record{Kind: wal.KindDeleteBatch, IDs: make([]int64, len(ids))}
+		for k, id := range ids {
+			rec.IDs[k] = int64(id)
+		}
+		if err := ix.wlog.Append(rec); err != nil {
+			rollback()
+			return fmt.Errorf("nncell: logging delete batch: %w", err)
+		}
+	}
+
+	// Commit.
+	for _, id := range ids {
+		ix.removeFragments(id)
+		for j := id * ix.dim; j < (id+1)*ix.dim; j++ {
+			ix.ptsFlat[j] = math.NaN() // poison, as in deleteLocked
+		}
+		ix.clearStaleLocked(id)
+	}
+	ix.commitStaged(affected, stagedFrags)
+	return nil
+}

@@ -1,0 +1,213 @@
+package nncell
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/iofault"
+	"repro/internal/vec"
+	"repro/internal/wal"
+)
+
+// batchOp is one step of a batched mutation history: one WAL record each.
+type batchOp struct {
+	del bool
+	ids []int       // delete targets
+	ps  []vec.Point // insert payload
+}
+
+func applyBatchOps(t *testing.T, ix *Index, ops []batchOp, n int) {
+	t.Helper()
+	for _, op := range ops[:n] {
+		if op.del {
+			if err := ix.DeleteBatch(op.ids); err != nil {
+				t.Fatalf("oracle delete batch %v: %v", op.ids, err)
+			}
+		} else if _, err := ix.InsertBatch(op.ps); err != nil {
+			t.Fatalf("oracle insert batch: %v", err)
+		}
+	}
+}
+
+// TestWALBatchCrashMatrix is the crash matrix over BATCH records: a
+// snapshot plus a history of insert/delete batches, crashed at every byte
+// offset of the log, must recover to exactly the acknowledged prefix of
+// WHOLE batches — a torn batch record vanishes entirely (one batch is one
+// frame), never as a partial batch.
+func TestWALBatchCrashMatrix(t *testing.T) {
+	const d = 2
+	base := uniquePoints(t, dataset.NameUniform, 601, 10, d)
+	extra := uniquePoints(t, dataset.NameClustered, 602, 12, d)
+	ix := mustBuild(t, base, Options{Algorithm: Correct})
+	var snap bytes.Buffer
+	if err := ix.Save(&snap); err != nil {
+		t.Fatal(err)
+	}
+
+	ops := []batchOp{
+		{ps: extra[0:4]},
+		{del: true, ids: []int{2, 11}}, // one snapshot point, one batch point
+		{ps: extra[4:9]},
+		{del: true, ids: []int{0, 14}},
+		{ps: extra[9:12]},
+	}
+
+	m := iofault.NewMem()
+	l, err := wal.Open("wal", wal.Options{FS: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := Load(bytes.NewReader(snap.Bytes()), newTestPager())
+	if err != nil {
+		t.Fatal(err)
+	}
+	live.AttachWAL(l)
+	seg := l.ActiveSegmentPath()
+	applyBatchOps(t, live, ops, len(ops))
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full, ok := m.Bytes(seg)
+	if !ok {
+		t.Fatal("active segment missing")
+	}
+
+	oracles := make([]*Index, len(ops)+1)
+	for k := range oracles {
+		o, err := Load(bytes.NewReader(snap.Bytes()), newTestPager())
+		if err != nil {
+			t.Fatal(err)
+		}
+		applyBatchOps(t, o, ops, k)
+		oracles[k] = o
+	}
+
+	for cut := 0; cut <= len(full); cut++ {
+		img := iofault.NewMem()
+		img.SetFile(seg, full[:cut])
+		rec, err := Load(bytes.NewReader(snap.Bytes()), newTestPager())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, rerr := rec.Recover(img, "wal")
+		if rerr != nil {
+			t.Fatalf("cut=%d: recover: %v", cut, rerr)
+		}
+		k := int(rs.Applied)
+		if k > len(ops) {
+			t.Fatalf("cut=%d: applied %d records from %d ops", cut, k, len(ops))
+		}
+		if rs.Stale != 0 {
+			t.Fatalf("cut=%d: %d stale records in a snapshot-then-log run", cut, rs.Stale)
+		}
+		assertSameState(t, rec, oracles[k], int64(700+cut))
+	}
+}
+
+// TestBatchReplayIdempotent: replaying a log against a snapshot that
+// already contains the batches' effects must apply nothing — every record
+// is proven a stale duplicate slot-by-slot — and leave the index
+// bit-identical. This is the compaction-overlap scenario: mutations racing
+// a snapshot land both in the snapshot and in surviving segments.
+func TestBatchReplayIdempotent(t *testing.T) {
+	const d = 3
+	base := uniquePoints(t, dataset.NameUniform, 603, 12, d)
+	extra := uniquePoints(t, dataset.NameClustered, 604, 8, d)
+	ix := mustBuild(t, base, Options{Algorithm: Sphere})
+
+	m := iofault.NewMem()
+	l, err := wal.Open("wal", wal.Options{FS: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix.AttachWAL(l)
+	if _, err := ix.InsertBatch(extra[:5]); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.DeleteBatch([]int{1, 13}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.InsertBatch(extra[5:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Snapshot AFTER the whole history: replay must be a no-op.
+	var snap bytes.Buffer
+	if err := ix.Save(&snap); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Load(bytes.NewReader(snap.Bytes()), newTestPager())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := rec.Recover(m, "wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Applied != 0 {
+		t.Fatalf("replay into a covering snapshot applied %d records", rs.Applied)
+	}
+	if rs.Stale != 3 {
+		t.Fatalf("replay marked %d records stale, want 3", rs.Stale)
+	}
+	assertSameState(t, rec, ix, 605)
+
+	// A second recovery over the same log is equally idempotent.
+	rs, err = rec.Recover(m, "wal")
+	if err != nil || rs.Applied != 0 {
+		t.Fatalf("second replay: applied=%d err=%v", rs.Applied, err)
+	}
+	assertSameState(t, rec, ix, 606)
+}
+
+// Batch replay must reject logs that contradict the snapshot: a batch whose
+// slots hold different points (wrong log) and a batch beyond the point
+// table (gap).
+func TestBatchReplayRejectsWrongLogAndGap(t *testing.T) {
+	const d = 2
+	pts := uniquePoints(t, dataset.NameUniform, 607, 20, d)
+	ix := mustBuild(t, pts[:10], Options{Algorithm: Correct})
+
+	// Wrong log: batch record for slots 0..2 with different coordinates.
+	rec := wal.Record{Kind: wal.KindInsertBatch, IDs: []int64{0, 1, 2}}
+	for _, p := range pts[11:14] {
+		rec.Coords = append(rec.Coords, p...)
+	}
+	if _, err := ix.ApplyLogRecord(rec); err == nil {
+		t.Fatal("mismatched insert batch replayed")
+	}
+
+	// Gap: batch starting beyond the table.
+	gap := wal.Record{Kind: wal.KindInsertBatch, IDs: []int64{12, 13}}
+	for _, p := range pts[14:16] {
+		gap.Coords = append(gap.Coords, p...)
+	}
+	if _, err := ix.ApplyLogRecord(gap); err == nil {
+		t.Fatal("gapped insert batch replayed")
+	}
+
+	// Straddle: a batch half inside, half beyond the table is a corrupt or
+	// foreign log, not a legal resume point.
+	straddle := wal.Record{Kind: wal.KindInsertBatch, IDs: []int64{9, 10}}
+	straddle.Coords = append(straddle.Coords, pts[9]...)
+	straddle.Coords = append(straddle.Coords, pts[16]...)
+	if _, err := ix.ApplyLogRecord(straddle); err == nil {
+		t.Fatal("straddling insert batch replayed")
+	}
+
+	// Delete-batch gap.
+	if _, err := ix.ApplyLogRecord(wal.Record{Kind: wal.KindDeleteBatch, IDs: []int64{3, 42}}); err == nil {
+		t.Fatal("gapped delete batch replayed")
+	}
+
+	if err := ix.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 10 {
+		t.Fatalf("rejected replays mutated the index: Len = %d", ix.Len())
+	}
+}

@@ -87,13 +87,19 @@ func (ix *Index) insertLocked(p vec.Point, logIt bool) (int, error) {
 
 	// Recompute every cell whose approximation intersects the new cell's
 	// outer MBR (superset of the truly shrinking cells) into a staged set;
-	// nothing committed is touched until all of them succeed.
+	// nothing committed is touched until all of them succeed. With
+	// LazyRepair the recompute is deferred: the affected cells keep their
+	// current MBRs — still supersets, the insert only shrank them — and are
+	// marked stale for the repair pool at commit (see repair.go).
 	outer := outerMBR(frags, ix.dim)
 	affected := ix.intersectingCells(outer, id)
-	staged, err := ix.recomputeCells(cc, affected)
-	if err != nil {
-		rollback()
-		return 0, err
+	var staged [][]vec.Rect
+	if !ix.opts.LazyRepair {
+		staged, err = ix.recomputeCells(cc, affected)
+		if err != nil {
+			rollback()
+			return 0, err
+		}
 	}
 
 	// Make the mutation durable before committing it: every solve has
@@ -110,7 +116,11 @@ func (ix *Index) insertLocked(p vec.Point, logIt bool) (int, error) {
 	// Commit: every LP has succeeded and the record is logged, so the
 	// remaining work is pure tree/bookkeeping mutation that cannot fail.
 	ix.storeCell(id, frags)
-	ix.commitStaged(affected, staged)
+	if ix.opts.LazyRepair {
+		ix.markStaleLocked(affected)
+	} else {
+		ix.commitStaged(affected, staged)
+	}
 	return id, nil
 }
 
@@ -208,6 +218,7 @@ func (ix *Index) deleteLocked(id int, logIt bool) error {
 	for j := id * ix.dim; j < (id+1)*ix.dim; j++ {
 		ix.ptsFlat[j] = math.NaN()
 	}
+	ix.clearStaleLocked(id)
 	ix.commitStaged(affected, staged)
 	return nil
 }
@@ -282,11 +293,15 @@ func (ix *Index) recomputeCells(cc *cellCtx, ids []int) ([][]vec.Rect, error) {
 }
 
 // commitStaged swaps the staged fragment sets in: pure tree mutation, no
-// solves, cannot fail. Callers hold ix.mu (write side).
+// solves, cannot fail. An eagerly recomputed cell is fresh by definition,
+// so any stale mark is cleared (aborting in-flight repairs of it — the
+// epoch check in repairOne sees the cleared mark and drops the solve).
+// Callers hold ix.mu (write side).
 func (ix *Index) commitStaged(ids []int, staged [][]vec.Rect) {
 	for k, aid := range ids {
 		ix.removeFragments(aid)
 		ix.storeCell(aid, staged[k])
+		ix.clearStaleLocked(aid)
 		ix.stats.updates.Add(1)
 	}
 }

@@ -61,6 +61,14 @@ func (ix *Index) CheckInvariants() error {
 	if got := int(ix.stats.fragments.Load()); got != frags {
 		return fmt.Errorf("nncell: fragment counter %d, cells store %d", got, frags)
 	}
+	for id := range ix.stale {
+		if id < 0 || id >= len(ix.points) || ix.points[id] == nil {
+			return fmt.Errorf("nncell: stale mark on dead slot %d", id)
+		}
+	}
+	if got := int(ix.stats.staleCells.Load()); got != len(ix.stale) {
+		return fmt.Errorf("nncell: stale counter %d, %d marked cells", got, len(ix.stale))
+	}
 	if err := ix.tree.CheckInvariants(); err != nil {
 		return fmt.Errorf("nncell: cell tree: %w", err)
 	}

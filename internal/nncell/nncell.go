@@ -19,7 +19,6 @@
 package nncell
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
 	"math"
@@ -112,7 +111,35 @@ type Options struct {
 	// exact regardless (a scan fallback catches the pathological case), the
 	// padding merely keeps the fallback rare. Default 1e-9.
 	Epsilon float64
+	// AutoThreshold makes NN-Direction the effective constraint selection
+	// once the live point count reaches this value, when Algorithm is
+	// Correct. The Correct selection solves LPs against O(n) constraint
+	// points per cell — fine for the paper's figure scales, quadratic in
+	// total at bulk scale — while NN-Direction keeps every constraint set
+	// O(d) (and any subset is sound by Lemma 1, so queries stay exact; the
+	// approximations are merely looser). 0 means the default threshold of
+	// 4096; negative disables the switch (the paper-figure harness pins it
+	// off so each figure measures exactly the algorithm it names).
+	AutoThreshold int
+	// LazyRepair defers the affected-cell recomputation of Insert and
+	// InsertBatch: affected cells are marked stale and re-approximated by a
+	// background pool instead of being re-solved inside the mutation's write
+	// lock. Stale cells keep serving their previous MBRs, which Lemma 1
+	// keeps correct — an insert only shrinks existing cells, so the old
+	// approximations remain supersets and queries stay exact (at worst a few
+	// extra candidates). Deletes always repair eagerly: a delete grows its
+	// neighbors' cells, so their old MBRs would stop being supersets.
+	LazyRepair bool
+	// RepairWorkers bounds the background repair pool used with LazyRepair.
+	// 0 means the default (min(4, GOMAXPROCS)); negative means no background
+	// goroutines at all — stale cells are repaired only when RepairWait
+	// drains the queue on the caller (deterministic mode for tests).
+	RepairWorkers int
 }
+
+// DefaultAutoThreshold is the live point count at which Options.AutoThreshold
+// (left zero) switches the Correct constraint selection to NN-Direction.
+const DefaultAutoThreshold = 4096
 
 func (o *Options) normalize() {
 	if o.Decompose < 1 {
@@ -126,6 +153,15 @@ func (o *Options) normalize() {
 	}
 	if o.Epsilon <= 0 {
 		o.Epsilon = 1e-9
+	}
+	if o.AutoThreshold == 0 {
+		o.AutoThreshold = DefaultAutoThreshold
+	}
+	if o.RepairWorkers == 0 {
+		o.RepairWorkers = 4
+		if g := runtime.GOMAXPROCS(0); g < o.RepairWorkers {
+			o.RepairWorkers = g
+		}
 	}
 }
 
@@ -149,6 +185,13 @@ type Stats struct {
 	// algorithm's pruning range queries — with index-backed retrieval this
 	// stays far below points×rounds, the cost of a linear scan per round.
 	PruneVisited uint64
+	// StaleCells is the number of cells currently marked stale by the lazy
+	// repair path (serving their previous, still-superset MBRs).
+	StaleCells uint64
+	// Repairs counts stale cells re-approximated and committed by the
+	// repair pool; RepairFailures counts repairs abandoned because the
+	// cell's LPs failed (the cell keeps its old superset MBR).
+	Repairs, RepairFailures uint64
 }
 
 // Index is a dynamic NN-cell index over a point database.
@@ -171,12 +214,24 @@ type Index struct {
 	tree    *xtree.Tree  // fragment MBRs, Data = point id
 	dataIdx *xtree.Tree  // the data points themselves (constraint selection)
 
+	// Lazy-repair state (see repair.go). stale maps each stale cell id to
+	// the monotonically increasing epoch of its most recent marking; a
+	// repair computed at epoch e commits only if the cell is still stale at
+	// exactly e (any interleaved mutation re-marks or clears and bumps).
+	// Both are guarded by mu; rq has its own internal lock (acquired only
+	// while mu is held or by goroutines holding neither).
+	stale    map[int]uint64
+	staleSeq uint64
+	rq       repairQueue
+
 	stats struct {
 		lpSolves, lpPivots, constraintPoints atomic.Uint64
 		fragments                            atomic.Uint64
 		queries, candidates, fallbacks       atomic.Uint64
 		updates                              atomic.Uint64
 		pruneVisited                         atomic.Uint64
+		staleCells                           atomic.Int64
+		repairs, repairFailures              atomic.Uint64
 	}
 
 	// testHookApprox, when non-nil, intercepts approximateCell before any LP
@@ -195,6 +250,15 @@ var ErrEmpty = errors.New("nncell: empty point set")
 // X-tree. The bounds rectangle is the data space; all points must lie in it.
 // Exact duplicate points are rejected (a duplicated point has an empty
 // NN-cell, which the paper's construction excludes).
+//
+// The build streams: each worker keeps only its own LP scratch (one cellCtx)
+// and appends finished cells to a private accumulator, so peak memory is the
+// output itself (fragment MBRs + tree) plus O(workers) scratch — never all
+// 2·d·n constraint sets at once. With AutoThreshold in effect (the default)
+// constraint sets above the threshold are O(d) per cell, which is what makes
+// n = 10⁵ bulk builds both fit in memory and finish; a failed cell stops the
+// other workers immediately instead of solving the remaining LPs for a build
+// that will be thrown away.
 func Build(points []vec.Point, bounds vec.Rect, pg *pager.Pager, opts Options) (*Index, error) {
 	if len(points) == 0 {
 		return nil, ErrEmpty
@@ -204,10 +268,6 @@ func Build(points []vec.Point, bounds vec.Rect, pg *pager.Pager, opts Options) (
 	if bounds.Dim() != d {
 		return nil, fmt.Errorf("nncell: bounds dim %d, points dim %d", bounds.Dim(), d)
 	}
-	// Duplicate detection keys each point by its raw float64 bit pattern —
-	// byte-exact, and far cheaper than formatting N points through fmt.
-	seen := make(map[string]bool, len(points))
-	keyBuf := make([]byte, 0, 8*d)
 	for i, p := range points {
 		if p.Dim() != d {
 			return nil, fmt.Errorf("nncell: point %d has dim %d, want %d", i, p.Dim(), d)
@@ -215,15 +275,9 @@ func Build(points []vec.Point, bounds vec.Rect, pg *pager.Pager, opts Options) (
 		if !bounds.Contains(p) {
 			return nil, fmt.Errorf("nncell: point %d = %v outside data space %v", i, p, bounds)
 		}
-		keyBuf = keyBuf[:0]
-		for _, v := range p {
-			keyBuf = binary.LittleEndian.AppendUint64(keyBuf, math.Float64bits(v))
-		}
-		k := string(keyBuf)
-		if seen[k] {
-			return nil, fmt.Errorf("nncell: duplicate point %v (index %d); deduplicate first", p, i)
-		}
-		seen[k] = true
+	}
+	if i, j, dup := dupIndex(points, d); dup {
+		return nil, fmt.Errorf("nncell: duplicate point %v (indexes %d and %d); deduplicate first", points[j], i, j)
 	}
 
 	ix := &Index{
@@ -248,46 +302,109 @@ func Build(points []vec.Point, bounds vec.Rect, pg *pager.Pager, opts Options) (
 	}
 	ix.dataIdx = xtree.BulkLoad(d, pg, opts.XTree, dataItems)
 
-	// Phase 2: approximate all cells in parallel.
-	type result struct {
+	// Phase 2: approximate all cells in parallel, streaming finished cells
+	// into per-worker accumulators with a shared fail-fast flag.
+	type cellOut struct {
 		id    int
 		rects []vec.Rect
-		err   error
 	}
-	results := make([]result, len(points))
-	var next atomic.Int64
-	var wg sync.WaitGroup
+	accs := make([][]cellOut, opts.Workers)
+	fragCounts := make([]int, opts.Workers)
+	var (
+		next     atomic.Int64
+		failed   atomic.Bool
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
 	for w := 0; w < opts.Workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(slot int) {
 			defer wg.Done()
 			cc := newCellCtx(d) // per-worker solver + scratch, reused across cells
 			for {
+				if failed.Load() {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= len(points) {
 					return
 				}
 				rects, err := ix.approximateCell(cc, i)
-				results[i] = result{i, rects, err}
+				if err != nil {
+					failed.Store(true)
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("nncell: cell %d: %w", i, err)
+					}
+					errMu.Unlock()
+					return
+				}
+				accs[slot] = append(accs[slot], cellOut{i, rects})
+				fragCounts[slot] += len(rects)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
 
-	// Phase 3: bulk-load the fragment MBRs into the cell X-tree.
-	var items []xtree.Entry
-	for _, r := range results {
-		if r.err != nil {
-			return nil, fmt.Errorf("nncell: cell %d: %w", r.id, r.err)
-		}
-		ix.cells[r.id] = r.rects
-		for _, rect := range r.rects {
-			items = append(items, xtree.Entry{Rect: rect, Data: int64(r.id)})
-			ix.stats.fragments.Add(1)
+	// Phase 3: merge the accumulators and bulk-load the fragment MBRs into
+	// the cell X-tree. The entry slice is sized exactly once.
+	total := 0
+	for _, n := range fragCounts {
+		total += n
+	}
+	items := make([]xtree.Entry, 0, total)
+	for _, acc := range accs {
+		for _, out := range acc {
+			ix.cells[out.id] = out.rects
+			for _, rect := range out.rects {
+				items = append(items, xtree.Entry{Rect: rect, Data: int64(out.id)})
+			}
 		}
 	}
+	ix.stats.fragments.Store(uint64(total))
 	ix.tree = xtree.BulkLoad(d, pg, opts.XTree, items)
 	return ix, nil
+}
+
+// dupIndex reports whether any two points share exactly the same float64 bit
+// patterns, returning their indexes. It sorts an index permutation and
+// compares adjacent rows — O(n log n) comparisons, O(n) extra memory — where
+// the previous string-keyed map cost ~80 bytes of transient key per point,
+// the dominant allocation of a 10⁵-point bulk build's validation pass.
+func dupIndex(points []vec.Point, d int) (int, int, bool) {
+	order := make([]int32, len(points))
+	for i := range order {
+		order[i] = int32(i)
+	}
+	less := func(a, b vec.Point) int {
+		for j := 0; j < d; j++ {
+			x, y := math.Float64bits(a[j]), math.Float64bits(b[j])
+			if x != y {
+				if x < y {
+					return -1
+				}
+				return 1
+			}
+		}
+		return 0
+	}
+	sort.Slice(order, func(i, j int) bool {
+		return less(points[order[i]], points[order[j]]) < 0
+	})
+	for k := 1; k < len(order); k++ {
+		if less(points[order[k-1]], points[order[k]]) == 0 {
+			i, j := int(order[k-1]), int(order[k])
+			if i > j {
+				i, j = j, i
+			}
+			return i, j, true
+		}
+	}
+	return 0, 0, false
 }
 
 // NewEmpty constructs an index over zero points. Build rejects empty point
@@ -374,6 +491,10 @@ func (ix *Index) PagerLivePages() int { return ix.pg.LivePages() }
 
 // Stats returns a snapshot of the counters.
 func (ix *Index) Stats() Stats {
+	stale := ix.stats.staleCells.Load()
+	if stale < 0 {
+		stale = 0
+	}
 	return Stats{
 		LPSolves:         ix.stats.lpSolves.Load(),
 		LPPivots:         ix.stats.lpPivots.Load(),
@@ -384,6 +505,9 @@ func (ix *Index) Stats() Stats {
 		Fallbacks:        ix.stats.fallbacks.Load(),
 		Updates:          ix.stats.updates.Load(),
 		PruneVisited:     ix.stats.pruneVisited.Load(),
+		StaleCells:       uint64(stale),
+		Repairs:          ix.stats.repairs.Load(),
+		RepairFailures:   ix.stats.repairFailures.Load(),
 	}
 }
 

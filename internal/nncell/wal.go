@@ -154,7 +154,87 @@ func (ix *Index) ApplyLogRecord(rec wal.Record) (bool, error) {
 			return false, fmt.Errorf("nncell: replaying delete %d: %w", id, err)
 		}
 		return true, nil
+	case wal.KindInsertBatch:
+		return ix.applyInsertBatch(rec)
+	case wal.KindDeleteBatch:
+		return ix.applyDeleteBatch(rec)
 	default:
 		return false, fmt.Errorf("nncell: replayed record of unknown kind %d", rec.Kind)
 	}
+}
+
+// applyInsertBatch replays one KindInsertBatch record with the same
+// per-slot case analysis as KindInsert, extended to a run of ids. A batch
+// commits all-or-nothing and slot ids are append-only, so a consistent
+// snapshot covers either the whole batch or none of it. Hence the legal
+// shapes are exactly two: every id already inside the table (stale
+// duplicate — each slot verified bit-identical or tombstoned), or the run
+// starting exactly at len(points) and contiguous (apply the whole batch;
+// re-execution provably assigns exactly those ids). Anything else — a
+// straddle, a gap, a bit mismatch — means the log does not belong to this
+// snapshot.
+func (ix *Index) applyInsertBatch(rec wal.Record) (bool, error) {
+	dim := rec.BatchDim()
+	if dim != ix.dim {
+		return false, fmt.Errorf("nncell: replayed %d-dim insert batch into %d-dim index", dim, ix.dim)
+	}
+	first := int(rec.IDs[0])
+	switch {
+	case first == len(ix.points):
+		ps := make([]vec.Point, len(rec.IDs))
+		for k := range rec.IDs {
+			if int(rec.IDs[k]) != first+k {
+				return false, fmt.Errorf("nncell: replayed insert batch ids are not contiguous at slot %d (corrupt record)", k)
+			}
+			ps[k] = vec.Point(rec.Coords[k*dim : (k+1)*dim])
+		}
+		if _, err := ix.insertBatchLocked(ps, false); err != nil {
+			return false, fmt.Errorf("nncell: replaying insert batch at %d: %w", first, err)
+		}
+		return true, nil
+	case first < len(ix.points):
+		for k, id64 := range rec.IDs {
+			id := int(id64)
+			if id >= len(ix.points) {
+				return false, fmt.Errorf("nncell: replayed insert batch straddles the point table at id %d (log is missing records)", id)
+			}
+			q := ix.points[id]
+			if q == nil {
+				continue // inserted and deleted before the snapshot
+			}
+			for j := range q {
+				if math.Float64bits(q[j]) != math.Float64bits(rec.Coords[k*dim+j]) {
+					return false, fmt.Errorf("nncell: replayed insert batch slot %d does not match the snapshot's point (wrong log for this snapshot?)", id)
+				}
+			}
+		}
+		return false, nil // stale duplicate of the whole batch
+	default:
+		return false, fmt.Errorf("nncell: replayed insert batch at %d beyond point table of %d (log is missing records)", first, len(ix.points))
+	}
+}
+
+// applyDeleteBatch replays one KindDeleteBatch record. Per-id analysis as
+// KindDelete; ids already tombstoned in the snapshot are skipped and the
+// still-live remainder is deleted as one batch (the snapshot may postdate
+// the batch's commit, covering all of it, or predate it, covering none —
+// either way every id must at least exist in the table).
+func (ix *Index) applyDeleteBatch(rec wal.Record) (bool, error) {
+	var live []int
+	for _, id64 := range rec.IDs {
+		id := int(id64)
+		if id >= len(ix.points) {
+			return false, fmt.Errorf("nncell: replayed delete %d beyond point table of %d (log is missing records)", id, len(ix.points))
+		}
+		if ix.points[id] != nil {
+			live = append(live, id)
+		}
+	}
+	if len(live) == 0 {
+		return false, nil // whole batch already tombstoned in the snapshot
+	}
+	if err := ix.deleteBatchLocked(live, false); err != nil {
+		return false, fmt.Errorf("nncell: replaying delete batch: %w", err)
+	}
+	return true, nil
 }

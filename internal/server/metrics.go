@@ -18,7 +18,7 @@ var endpointNames = []string{
 	"index", "healthz", "healthz_live", "metrics",
 	"nn", "knn", "candidates",
 	"nn_batch", "knn_batch", "candidates_batch",
-	"insert", "delete",
+	"insert", "insert_batch", "delete",
 }
 
 type endpointMetrics struct {
@@ -164,6 +164,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP nncell_index_updates_total Affected-cell recomputations from Insert/Delete.\n")
 	fmt.Fprintf(w, "# TYPE nncell_index_updates_total counter\n")
 	fmt.Fprintf(w, "nncell_index_updates_total %d\n", ist.Updates)
+	fmt.Fprintf(w, "# HELP nncell_stale_cells Cells marked stale by lazy repair, still serving superset MBRs.\n")
+	fmt.Fprintf(w, "# TYPE nncell_stale_cells gauge\n")
+	fmt.Fprintf(w, "nncell_stale_cells %d\n", ist.StaleCells)
+	fmt.Fprintf(w, "# HELP nncell_repairs_total Stale cells re-approximated and committed by the repair pool.\n")
+	fmt.Fprintf(w, "# TYPE nncell_repairs_total counter\n")
+	fmt.Fprintf(w, "nncell_repairs_total{result=\"ok\"} %d\n", ist.Repairs)
+	fmt.Fprintf(w, "nncell_repairs_total{result=\"error\"} %d\n", ist.RepairFailures)
 
 	pst := ix.PagerStats()
 	fmt.Fprintf(w, "# HELP nncell_pager_accesses_total Logical page reads.\n")

@@ -44,6 +44,7 @@ type Index interface {
 	CandidatesAppend(dst []int, q vec.Point) []int
 	NearestNeighborBatch(qs []vec.Point, workers int) ([]nncell.Neighbor, error)
 	Insert(p vec.Point) (int, error)
+	InsertBatch(ps []vec.Point) ([]int, error)
 	Delete(id int) error
 	Stats() nncell.Stats
 	Save(w io.Writer) error
@@ -188,6 +189,7 @@ func New(ix Index, cfg Config) *Server {
 	s.mux.Handle("/v1/knn/batch", s.instrument("knn_batch", true, s.handleKNNBatch))
 	s.mux.Handle("/v1/candidates/batch", s.instrument("candidates_batch", true, s.handleCandidatesBatch))
 	s.mux.Handle("/v1/insert", s.instrument("insert", true, s.handleInsert))
+	s.mux.Handle("/v1/insert/batch", s.instrument("insert_batch", true, s.handleInsertBatch))
 	s.mux.Handle("/v1/delete", s.instrument("delete", true, s.handleDelete))
 
 	s.hs = &http.Server{

@@ -220,6 +220,111 @@ func (s *Sharded) Delete(gid int) error {
 	return s.shards[shard].Delete(local)
 }
 
+// InsertBatch routes the points into per-shard sub-batches and inserts the
+// sub-batches concurrently, one shard write lock and one WAL append per
+// sub-batch. Returned global ids are positionally aligned with ps.
+//
+// Atomicity is per shard, not global: each sub-batch commits all-or-nothing
+// inside its shard (and is logged as one record there), but on error the
+// sub-batches of OTHER shards may already have committed — the returned
+// error names the failing shard, and the caller observes a consistent index
+// that contains some routed subset of the batch. Callers needing global
+// all-or-nothing semantics should use a single-shard configuration.
+func (s *Sharded) InsertBatch(ps []vec.Point) ([]int, error) {
+	if len(ps) == 0 {
+		return nil, nil
+	}
+	for i, p := range ps {
+		if p.Dim() != s.dim {
+			return nil, fmt.Errorf("shard: batch point %d has dim %d, want %d", i, p.Dim(), s.dim)
+		}
+	}
+	subs := make([][]vec.Point, len(s.shards))
+	subPos := make([][]int, len(s.shards)) // sub-batch slot -> position in ps
+	for i, p := range ps {
+		sh := route(p, len(s.shards))
+		subs[sh] = append(subs[sh], p)
+		subPos[sh] = append(subPos[sh], i)
+	}
+	out := make([]int, len(ps))
+	errs := make([]error, len(s.shards))
+	var wg sync.WaitGroup
+	for sh := range subs {
+		if len(subs[sh]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(sh int) {
+			defer wg.Done()
+			locals, err := s.shards[sh].InsertBatch(subs[sh])
+			if err != nil {
+				errs[sh] = err
+				return
+			}
+			for k, local := range locals {
+				out[subPos[sh][k]] = s.globalID(sh, local)
+			}
+		}(sh)
+	}
+	wg.Wait()
+	for sh, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", sh, err)
+		}
+	}
+	return out, nil
+}
+
+// DeleteBatch splits the global ids into per-shard sub-batches and deletes
+// them concurrently. Atomicity is per shard, as in InsertBatch.
+func (s *Sharded) DeleteBatch(gids []int) error {
+	if len(gids) == 0 {
+		return nil
+	}
+	subs := make([][]int, len(s.shards))
+	for _, gid := range gids {
+		if gid < 0 {
+			return fmt.Errorf("shard: batch delete of unknown id %d", gid)
+		}
+		shard, local := s.splitID(gid)
+		subs[shard] = append(subs[shard], local)
+	}
+	errs := make([]error, len(s.shards))
+	var wg sync.WaitGroup
+	for sh := range subs {
+		if len(subs[sh]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(sh int) {
+			defer wg.Done()
+			errs[sh] = s.shards[sh].DeleteBatch(subs[sh])
+		}(sh)
+	}
+	wg.Wait()
+	for sh, err := range errs {
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", sh, err)
+		}
+	}
+	return nil
+}
+
+// RepairWait drains every shard's lazy-repair queue concurrently (see
+// nncell.Index.RepairWait); a no-op when LazyRepair is off or nothing is
+// stale.
+func (s *Sharded) RepairWait() {
+	var wg sync.WaitGroup
+	for _, ix := range s.shards {
+		wg.Add(1)
+		go func(ix *nncell.Index) {
+			defer wg.Done()
+			ix.RepairWait()
+		}(ix)
+	}
+	wg.Wait()
+}
+
 // NearestNeighbor fans the query out over all shards and returns the minimum
 // — exact by the union argument in the package comment. The fan-out is a
 // sequential loop: each per-shard query is allocation-free on its pooled
@@ -380,6 +485,9 @@ func (s *Sharded) Stats() nncell.Stats {
 		out.Fallbacks += st.Fallbacks
 		out.Updates += st.Updates
 		out.PruneVisited += st.PruneVisited
+		out.StaleCells += st.StaleCells
+		out.Repairs += st.Repairs
+		out.RepairFailures += st.RepairFailures
 	}
 	return out
 }

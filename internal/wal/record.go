@@ -17,6 +17,14 @@ const (
 	KindInsert Kind = 1
 	// KindDelete logs a committed Delete of the slot id.
 	KindDelete Kind = 2
+	// KindInsertBatch logs a committed InsertBatch: the contiguous run of
+	// assigned slot ids and every point's coordinates, in one record. One
+	// batch is one frame, so a torn tail drops the whole batch — which is
+	// exactly the commit unit of the index (a batch commits all-or-nothing
+	// under the write lock, so no acknowledged prefix can be lost).
+	KindInsertBatch Kind = 3
+	// KindDeleteBatch logs a committed DeleteBatch: the deleted slot ids.
+	KindDeleteBatch Kind = 4
 )
 
 // Record is one logged mutation. IDs are index-local (for a sharded index
@@ -30,6 +38,22 @@ type Record struct {
 	Kind  Kind
 	ID    int64
 	Point []float64 // KindInsert only
+
+	// Batch payload (KindInsertBatch / KindDeleteBatch). IDs lists the slot
+	// ids; for insert batches Coords is the flat coordinate block, point k's
+	// coordinates at [k*dim : (k+1)*dim] with dim = len(Coords)/len(IDs).
+	// The flat layout keeps one batch record at two allocations on decode no
+	// matter how many points it carries.
+	IDs    []int64
+	Coords []float64
+}
+
+// BatchDim returns the per-point dimensionality of an insert-batch record.
+func (r Record) BatchDim() int {
+	if len(r.IDs) == 0 {
+		return 0
+	}
+	return len(r.Coords) / len(r.IDs)
 }
 
 // maxRecordDim bounds the declared point dimensionality of a decoded
@@ -37,10 +61,21 @@ type Record struct {
 // construction (a crafted stream), not to size any allocation up front.
 const maxRecordDim = 1 << 16
 
+// maxBatchCount bounds the declared batch size of a decoded batch record,
+// in the same spirit as maxRecordDim. The framing layer's MaxRecordBytes is
+// the effective ceiling for real batches (count·dim·8 bytes must fit one
+// record); this constant only rejects absurd headers early.
+const maxBatchCount = 1 << 24
+
 // appendPayload serializes the record payload (everything inside the
 // length+CRC frame) onto buf. Layout, little-endian:
 //
 //	kind uint8 | id uint64 | [insert only: dim uint32 | dim × float64 bits]
+//
+// Batch records replace the single id with a run:
+//
+//	kind uint8 | count uint32 | [insert batch only: dim uint32]
+//	           | count × id uint64 | [insert batch only: count·dim × float64 bits]
 func appendPayload(buf []byte, rec Record) ([]byte, error) {
 	le := binary.LittleEndian
 	switch rec.Kind {
@@ -54,6 +89,35 @@ func appendPayload(buf []byte, rec Record) ([]byte, error) {
 	case KindDelete:
 		buf = append(buf, byte(KindDelete))
 		buf = le.AppendUint64(buf, uint64(rec.ID))
+	case KindInsertBatch:
+		if len(rec.IDs) == 0 {
+			return nil, fmt.Errorf("wal: empty insert batch record")
+		}
+		if len(rec.Coords)%len(rec.IDs) != 0 {
+			return nil, fmt.Errorf("wal: insert batch carries %d coords for %d ids", len(rec.Coords), len(rec.IDs))
+		}
+		dim := len(rec.Coords) / len(rec.IDs)
+		if dim == 0 {
+			return nil, fmt.Errorf("wal: insert batch record with zero dimensionality")
+		}
+		buf = append(buf, byte(KindInsertBatch))
+		buf = le.AppendUint32(buf, uint32(len(rec.IDs)))
+		buf = le.AppendUint32(buf, uint32(dim))
+		for _, id := range rec.IDs {
+			buf = le.AppendUint64(buf, uint64(id))
+		}
+		for _, v := range rec.Coords {
+			buf = le.AppendUint64(buf, math.Float64bits(v))
+		}
+	case KindDeleteBatch:
+		if len(rec.IDs) == 0 {
+			return nil, fmt.Errorf("wal: empty delete batch record")
+		}
+		buf = append(buf, byte(KindDeleteBatch))
+		buf = le.AppendUint32(buf, uint32(len(rec.IDs)))
+		for _, id := range rec.IDs {
+			buf = le.AppendUint64(buf, uint64(id))
+		}
 	default:
 		return nil, fmt.Errorf("wal: unknown record kind %d", rec.Kind)
 	}
@@ -65,6 +129,70 @@ func appendPayload(buf []byte, rec Record) ([]byte, error) {
 // corruption.
 func decodePayload(b []byte) (Record, error) {
 	le := binary.LittleEndian
+	if len(b) < 1 {
+		return Record{}, fmt.Errorf("wal: empty payload")
+	}
+	// Batch kinds carry a count where the single-op kinds carry an id; peel
+	// them off before the common single-id header parse below.
+	switch Kind(b[0]) {
+	case KindInsertBatch:
+		rest := b[1:]
+		if len(rest) < 8 {
+			return Record{}, fmt.Errorf("wal: insert batch record truncated before header")
+		}
+		count := le.Uint32(rest[:4])
+		dim := le.Uint32(rest[4:8])
+		rest = rest[8:]
+		if count == 0 || count > maxBatchCount {
+			return Record{}, fmt.Errorf("wal: implausible batch count %d", count)
+		}
+		if dim == 0 || dim > maxRecordDim {
+			return Record{}, fmt.Errorf("wal: implausible record dimensionality %d", dim)
+		}
+		want := uint64(count)*8 + uint64(count)*uint64(dim)*8
+		if uint64(len(rest)) != want {
+			return Record{}, fmt.Errorf("wal: insert batch record carries %d payload bytes, want %d (count %d, dim %d)",
+				len(rest), want, count, dim)
+		}
+		rec := Record{Kind: KindInsertBatch}
+		rec.IDs = make([]int64, count)
+		for k := range rec.IDs {
+			id := int64(le.Uint64(rest[8*k:]))
+			if id < 0 {
+				return Record{}, fmt.Errorf("wal: negative record id %d in batch", id)
+			}
+			rec.IDs[k] = id
+		}
+		rest = rest[8*count:]
+		rec.Coords = make([]float64, uint64(count)*uint64(dim))
+		for j := range rec.Coords {
+			rec.Coords[j] = math.Float64frombits(le.Uint64(rest[8*j:]))
+		}
+		return rec, nil
+	case KindDeleteBatch:
+		rest := b[1:]
+		if len(rest) < 4 {
+			return Record{}, fmt.Errorf("wal: delete batch record truncated before header")
+		}
+		count := le.Uint32(rest[:4])
+		rest = rest[4:]
+		if count == 0 || count > maxBatchCount {
+			return Record{}, fmt.Errorf("wal: implausible batch count %d", count)
+		}
+		if uint64(len(rest)) != uint64(count)*8 {
+			return Record{}, fmt.Errorf("wal: delete batch record carries %d id bytes for count %d", len(rest), count)
+		}
+		rec := Record{Kind: KindDeleteBatch}
+		rec.IDs = make([]int64, count)
+		for k := range rec.IDs {
+			id := int64(le.Uint64(rest[8*k:]))
+			if id < 0 {
+				return Record{}, fmt.Errorf("wal: negative record id %d in batch", id)
+			}
+			rec.IDs[k] = id
+		}
+		return rec, nil
+	}
 	if len(b) < 9 {
 		return Record{}, fmt.Errorf("wal: payload of %d bytes is shorter than any record", len(b))
 	}

@@ -1,0 +1,123 @@
+package wal
+
+import (
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"repro/internal/iofault"
+)
+
+func TestBatchPayloadRoundtrip(t *testing.T) {
+	recs := []Record{
+		{Kind: KindInsertBatch, IDs: []int64{0}, Coords: []float64{1.5, -2.5}},
+		{Kind: KindInsertBatch, IDs: []int64{7, 8, 9}, Coords: []float64{0, 1, 2, 3, 4, 5}},
+		{Kind: KindDeleteBatch, IDs: []int64{3}},
+		{Kind: KindDeleteBatch, IDs: []int64{0, 2, 4, 6}},
+	}
+	for _, want := range recs {
+		buf, err := appendPayload(nil, want)
+		if err != nil {
+			t.Fatalf("append %+v: %v", want, err)
+		}
+		got, err := decodePayload(buf)
+		if err != nil {
+			t.Fatalf("decode %+v: %v", want, err)
+		}
+		if !recordsEqual(got, want) {
+			t.Fatalf("roundtrip: got %+v want %+v", got, want)
+		}
+		if want.Kind == KindInsertBatch {
+			if d := got.BatchDim(); d != len(want.Coords)/len(want.IDs) {
+				t.Fatalf("BatchDim = %d", d)
+			}
+		}
+	}
+}
+
+func TestBatchEncodeRejectsMalformed(t *testing.T) {
+	for name, rec := range map[string]Record{
+		"empty insert batch": {Kind: KindInsertBatch},
+		"ragged coords":      {Kind: KindInsertBatch, IDs: []int64{1, 2}, Coords: []float64{1, 2, 3}},
+		"zero dim":           {Kind: KindInsertBatch, IDs: []int64{1, 2}},
+		"empty delete batch": {Kind: KindDeleteBatch},
+	} {
+		if _, err := appendPayload(nil, rec); err == nil {
+			t.Errorf("%s: encoded", name)
+		}
+	}
+}
+
+func TestBatchDecodeRejectsCorruptHeaders(t *testing.T) {
+	le := binary.LittleEndian
+	good, err := appendPayload(nil, Record{Kind: KindInsertBatch, IDs: []int64{5, 6}, Coords: []float64{1, 2, 3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutate := func(f func(b []byte)) []byte {
+		b := append([]byte(nil), good...)
+		f(b)
+		return b
+	}
+	cases := map[string][]byte{
+		"truncated header":  good[:5],
+		"trailing bytes":    append(append([]byte(nil), good...), 0),
+		"short payload":     good[:len(good)-8],
+		"zero count":        mutate(func(b []byte) { le.PutUint32(b[1:], 0) }),
+		"absurd count":      mutate(func(b []byte) { le.PutUint32(b[1:], 1<<25) }),
+		"zero dim":          mutate(func(b []byte) { le.PutUint32(b[5:], 0) }),
+		"absurd dim":        mutate(func(b []byte) { le.PutUint32(b[5:], 1<<20) }),
+		"negative batch id": mutate(func(b []byte) { le.PutUint64(b[9:], 1<<63) }),
+	}
+	for name, b := range cases {
+		if _, err := decodePayload(b); err == nil {
+			t.Errorf("%s: decoded", name)
+		}
+	}
+
+	del, err := appendPayload(nil, Record{Kind: KindDeleteBatch, IDs: []int64{5, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	delMut := func(f func(b []byte)) []byte {
+		b := append([]byte(nil), del...)
+		f(b)
+		return b
+	}
+	for name, b := range map[string][]byte{
+		"del truncated":   del[:3],
+		"del trailing":    append(append([]byte(nil), del...), 0),
+		"del zero count":  delMut(func(b []byte) { le.PutUint32(b[1:], 0) }),
+		"del wrong count": delMut(func(b []byte) { le.PutUint32(b[1:], 3) }),
+		"del negative id": delMut(func(b []byte) { le.PutUint64(b[5:], 1<<63) }),
+	} {
+		if _, err := decodePayload(b); err == nil {
+			t.Errorf("%s: decoded", name)
+		}
+	}
+}
+
+// A batch record larger than MaxRecordBytes must be refused by the framing
+// layer at append time (one batch is one frame), not silently split.
+func TestBatchOverFrameLimitRefused(t *testing.T) {
+	count := MaxRecordBytes/16 + 1 // 8B id + 8B coord per point at dim 1
+	rec := Record{Kind: KindInsertBatch, IDs: make([]int64, count), Coords: make([]float64, count)}
+	for k := range rec.IDs {
+		rec.IDs[k] = int64(k)
+	}
+	buf, err := appendPayload(nil, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) <= MaxRecordBytes {
+		t.Fatalf("test batch of %d bytes does not exceed the frame cap %d", len(buf), MaxRecordBytes)
+	}
+	l, err := Open("wal", Options{FS: iofault.NewMem()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.Append(rec); err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("oversized batch append err = %v, want record-size refusal", err)
+	}
+}

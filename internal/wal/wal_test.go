@@ -14,16 +14,38 @@ import (
 func testRecords(n, dim int) []Record {
 	rng := rand.New(rand.NewSource(42))
 	recs := make([]Record, 0, n)
-	for i := 0; i < n; i++ {
-		if i > 0 && rng.Intn(4) == 0 {
-			recs = append(recs, Record{Kind: KindDelete, ID: int64(rng.Intn(i))})
-			continue
+	next := 0 // next unallocated slot id
+	for len(recs) < n {
+		switch {
+		case next > 0 && rng.Intn(5) == 0:
+			recs = append(recs, Record{Kind: KindDelete, ID: int64(rng.Intn(next))})
+		case next > 1 && rng.Intn(6) == 0:
+			count := 1 + rng.Intn(3)
+			ids := make([]int64, count)
+			for k := range ids {
+				ids[k] = int64(rng.Intn(next))
+			}
+			recs = append(recs, Record{Kind: KindDeleteBatch, IDs: ids})
+		case rng.Intn(4) == 0:
+			count := 1 + rng.Intn(4)
+			rec := Record{Kind: KindInsertBatch, IDs: make([]int64, count)}
+			rec.Coords = make([]float64, count*dim)
+			for k := range rec.IDs {
+				rec.IDs[k] = int64(next)
+				next++
+			}
+			for j := range rec.Coords {
+				rec.Coords[j] = rng.NormFloat64()
+			}
+			recs = append(recs, rec)
+		default:
+			p := make([]float64, dim)
+			for j := range p {
+				p[j] = rng.NormFloat64()
+			}
+			recs = append(recs, Record{Kind: KindInsert, ID: int64(next), Point: p})
+			next++
 		}
-		p := make([]float64, dim)
-		for j := range p {
-			p[j] = rng.NormFloat64()
-		}
-		recs = append(recs, Record{Kind: KindInsert, ID: int64(i), Point: p})
 	}
 	return recs
 }
@@ -42,11 +64,22 @@ func collectReplay(t *testing.T, fsys iofault.FS, dir string) ([]Record, ReplayS
 }
 
 func recordsEqual(a, b Record) bool {
-	if a.Kind != b.Kind || a.ID != b.ID || len(a.Point) != len(b.Point) {
+	if a.Kind != b.Kind || a.ID != b.ID || len(a.Point) != len(b.Point) ||
+		len(a.IDs) != len(b.IDs) || len(a.Coords) != len(b.Coords) {
 		return false
 	}
 	for i := range a.Point {
 		if math.Float64bits(a.Point[i]) != math.Float64bits(b.Point[i]) {
+			return false
+		}
+	}
+	for i := range a.IDs {
+		if a.IDs[i] != b.IDs[i] {
+			return false
+		}
+	}
+	for i := range a.Coords {
+		if math.Float64bits(a.Coords[i]) != math.Float64bits(b.Coords[i]) {
 			return false
 		}
 	}

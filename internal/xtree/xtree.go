@@ -522,58 +522,74 @@ func sortByAxis(entries []entry, axis int, byUpper bool) []entry {
 }
 
 // Delete removes one entry matching (rect, data), condensing underfull
-// nodes. It reports whether an entry was found.
+// nodes. It reports whether an entry was found. Condensation walks only
+// the root→leaf path of the removed entry — a delete costs O(height ×
+// node size), not a full-tree sweep, which is what keeps bulk repair
+// (delete+reinsert per recomputed cell fragment) linear instead of
+// quadratic at n=10⁵.
 func (t *Tree) Delete(r vec.Rect, data int64) bool {
-	leaf, idx := t.findLeaf(t.root, r, data)
+	path := make([]*node, 0, t.height+1)
+	leaf, idx := t.findLeaf(t.root, r, data, &path)
 	if leaf == nil {
 		return false
 	}
 	leaf.entries = append(leaf.entries[:idx], leaf.entries[idx+1:]...)
 	t.writeNode(leaf)
 	t.size--
-	t.condense()
+	t.condensePath(path)
 	return true
 }
 
-func (t *Tree) findLeaf(n *node, r vec.Rect, data int64) (*node, int) {
+// findLeaf locates the leaf holding (rect, data) and records the node path
+// from the root to that leaf (the path is truncated on backtrack, so on
+// success it is exactly root..leaf).
+func (t *Tree) findLeaf(n *node, r vec.Rect, data int64, path *[]*node) (*node, int) {
 	t.accessNode(n)
+	*path = append(*path, n)
 	if n.level == 0 {
 		for i := range n.entries {
 			if n.entries[i].data == data && n.entries[i].rect.Equal(r) {
 				return n, i
 			}
 		}
+		*path = (*path)[:len(*path)-1]
 		return nil, -1
 	}
 	for i := range n.entries {
 		if n.entries[i].rect.ContainsRect(r) {
-			if leaf, idx := t.findLeaf(n.entries[i].child, r, data); leaf != nil {
+			if leaf, idx := t.findLeaf(n.entries[i].child, r, data, path); leaf != nil {
 				return leaf, idx
 			}
 		}
 	}
+	*path = (*path)[:len(*path)-1]
 	return nil, -1
 }
 
-func (t *Tree) condense() {
+// condensePath restores the tree invariants along one root→leaf path after
+// an entry removal, bottom-up: an underfull node is freed and its entries
+// reinserted at their level; otherwise the parent entry's MBR is tightened,
+// and the walk stops early once an ancestor's stored MBR is already exact
+// (nothing above it can have changed). Supernodes that shrank back under
+// single-page capacity revert along the way.
+func (t *Tree) condensePath(path []*node) {
 	var orphans []struct {
 		e     entry
 		level int
 	}
-	var walk func(n *node) bool
-	walk = func(n *node) bool {
-		if n.level > 0 {
-			kept := n.entries[:0]
-			for _, e := range n.entries {
-				if walk(e.child) {
-					e.rect = e.child.mbr(t.dim)
-					kept = append(kept, e)
-				}
+	for i := len(path) - 1; i > 0; i-- {
+		n, parent := path[i], path[i-1]
+		j := -1
+		for k := range parent.entries {
+			if parent.entries[k].child == n {
+				j = k
+				break
 			}
-			n.entries = kept
-			t.writeNode(n)
 		}
-		if n != t.root && len(n.entries) < t.minEntries {
+		if j < 0 {
+			panic("xtree: condense path node missing from its parent")
+		}
+		if len(n.entries) < t.minEntries {
 			for _, e := range n.entries {
 				orphans = append(orphans, struct {
 					e     entry
@@ -581,19 +597,19 @@ func (t *Tree) condense() {
 				}{e, n.level})
 			}
 			t.freeNode(n)
-			return false
+			parent.entries = append(parent.entries[:j], parent.entries[j+1:]...)
+			t.writeNode(parent)
+			continue
 		}
-		// A supernode that shrank back under single-page capacity reverts.
-		for n.isSuper() && len(n.entries) <= t.baseMax*(len(n.pages)-1) {
-			t.pg.Free(n.pages[len(n.pages)-1])
-			n.pages = n.pages[:len(n.pages)-1]
-			if !n.isSuper() {
-				t.supernodes--
-			}
+		t.revertSupernode(n)
+		nm := n.mbr(t.dim)
+		if parent.entries[j].rect.Equal(nm) {
+			break // stored MBR already exact; ancestors unchanged
 		}
-		return true
+		parent.entries[j].rect = nm
+		t.writeNode(parent)
 	}
-	walk(t.root)
+	t.revertSupernode(t.root)
 	for _, o := range orphans {
 		t.insertOrphan(o.e, o.level)
 	}
@@ -602,6 +618,18 @@ func (t *Tree) condense() {
 		t.freeNode(t.root)
 		t.root = child
 		t.height--
+	}
+}
+
+// revertSupernode frees trailing supernode pages once the entry count fits
+// in fewer pages again.
+func (t *Tree) revertSupernode(n *node) {
+	for n.isSuper() && len(n.entries) <= t.baseMax*(len(n.pages)-1) {
+		t.pg.Free(n.pages[len(n.pages)-1])
+		n.pages = n.pages[:len(n.pages)-1]
+		if !n.isSuper() {
+			t.supernodes--
+		}
 	}
 }
 

@@ -295,6 +295,84 @@ func TestMixedWorkload(t *testing.T) {
 	}
 }
 
+// TestDeleteCondensePath churns overlapping rectangle entries (the
+// fragment-tree workload of bulk repair: delete + reinsert per recomputed
+// cell) at a dimensionality that forms supernodes, checking invariants and
+// range-query equivalence throughout — the path-based condense must keep
+// every stored directory MBR exact and revert shrunken supernodes.
+func TestDeleteCondensePath(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	d := 8
+	tr := New(d, newTestPager(), Options{})
+	mkRect := func() vec.Rect {
+		lo := make(vec.Point, d)
+		hi := make(vec.Point, d)
+		for j := 0; j < d; j++ {
+			c := rng.Float64() * 0.8
+			lo[j] = c
+			hi[j] = c + 0.05 + rng.Float64()*0.3
+		}
+		return vec.NewRect(lo, hi)
+	}
+	live := map[int64]vec.Rect{}
+	for i := int64(0); i < 900; i++ {
+		r := mkRect()
+		tr.Insert(r, i)
+		live[i] = r
+	}
+	next := int64(900)
+	for op := 0; op < 1200; op++ {
+		var id int64
+		for k := range live {
+			id = k
+			break
+		}
+		if !tr.Delete(live[id], id) {
+			t.Fatalf("op %d: delete %d failed", op, id)
+		}
+		delete(live, id)
+		if op%3 != 0 { // net shrink every third op → underfull + reverts
+			r := mkRect()
+			tr.Insert(r, next)
+			live[next] = r
+			next++
+		}
+		if op%200 == 0 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("op %d: %v", op, err)
+			}
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != len(live) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(live))
+	}
+	for trial := 0; trial < 30; trial++ {
+		q := randPoints(rng, 1, d)[0]
+		want := map[int64]bool{}
+		for id, r := range live {
+			if r.Contains(q) {
+				want[id] = true
+			}
+		}
+		got := map[int64]bool{}
+		tr.PointQuery(q, func(e Entry) bool {
+			got[e.Data] = true
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: point query returned %d entries, want %d", trial, len(got), len(want))
+		}
+		for id := range want {
+			if !got[id] {
+				t.Fatalf("trial %d: missing entry %d", trial, id)
+			}
+		}
+	}
+}
+
 func absDiff(a, b float64) float64 {
 	if a > b {
 		return a - b
