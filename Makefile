@@ -3,9 +3,9 @@
 # §"Construction hot path" and §"Query engine").
 GO ?= go
 
-.PHONY: check vet build test race serve-smoke crash-test stale-test bench-smoke bench-build bench-query bench-dynamic bench-bulk bench
+.PHONY: check vet build test race serve-smoke crash-test stale-test cache-test bench-smoke bench-build bench-query bench-dynamic bench-bulk bench-serve bench
 
-check: vet build test race serve-smoke crash-test stale-test bench-smoke
+check: vet build test race serve-smoke crash-test stale-test cache-test bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -22,7 +22,7 @@ test:
 # reads, pooled query contexts shared by batch workers, and the admission
 # limiter / graceful-drain machinery).
 race:
-	$(GO) test -race ./internal/nncell/ ./internal/lp/ ./internal/shard/ ./internal/server/ ./internal/wal/ ./internal/iofault/
+	$(GO) test -race ./internal/nncell/ ./internal/lp/ ./internal/shard/ ./internal/server/ ./internal/wal/ ./internal/iofault/ ./internal/rescache/ ./internal/loadgen/
 
 # End-to-end serving lifecycle against the real binary: build an index, start
 # `nncell serve`, answer a query, scrape /metrics, SIGTERM, drained exit.
@@ -45,6 +45,12 @@ crash-test:
 stale-test:
 	$(GO) test -count 1 -run 'Stale|Repair|Batch|LazyDelete' ./internal/nncell/ ./internal/shard/ ./internal/wal/
 
+# The cache-coherence gate: the fragment-keyed result cache must stay
+# byte-identical to the uncached index under concurrent mixed churn
+# (sharded, lazy repair, batch mutations), with the race detector on.
+cache-test:
+	$(GO) test -race -count 1 -short -run 'TestCacheCoherenceChurn' ./internal/rescache/
+
 # One iteration of the hot-path benchmarks: proves the 0 allocs/op contracts
 # of the warm LP loop and the warm query engine, and that construction and
 # the query-bench tool still run end to end.
@@ -63,9 +69,11 @@ bench-build:
 	$(GO) run ./cmd/experiments -bench-build BENCH_build.json
 
 # Regenerate the machine-readable query-performance record (QPS, speedup of
-# the QueryCtx engine over the seed path, work counters) tracked across PRs.
+# the QueryCtx engine over the seed path, work counters) tracked across PRs,
+# plus the large-n scale pass (n=10^5, cached vs uncached). The scale pass
+# builds two 10^5-point indexes and takes a few minutes.
 bench-query:
-	$(GO) run ./cmd/experiments -bench-query BENCH_query.json
+	$(GO) run ./cmd/experiments -bench-query BENCH_query.json -bench-scale-n 100000
 
 # Regenerate the machine-readable dynamic-maintenance record: concurrent
 # insert throughput at shard counts 1/2/4/8 (d=8) for base sizes 512 and
@@ -78,3 +86,10 @@ bench-dynamic:
 # constraint-selection trade. The 10^5 run takes several minutes.
 bench-bulk:
 	$(GO) run ./cmd/experiments -bench-bulk BENCH_bulk.json
+
+# Regenerate the machine-readable serving-performance record: the open-loop
+# Zipf hot-spot workload against the bare index, the result-cached index,
+# and the cached index under insert churn (p50/p99, hit rate, invalidation
+# counts, cache speedup).
+bench-serve:
+	$(GO) run ./cmd/experiments -bench-serve BENCH_serve.json

@@ -38,6 +38,10 @@ func main() {
 		csv       = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 
 		benchBuild   = flag.String("bench-build", "", "measure Build for all four algorithms and write the JSON report to this path (skips figures)")
+		benchServe   = flag.String("bench-serve", "", "measure the open-loop serve path (bare index vs result cache vs cache under churn) and write the JSON report to this path (skips figures)")
+		benchQPS     = flag.Float64("bench-qps", 0, "arrival rate for -bench-serve (default 5000)")
+		benchDur     = flag.Duration("bench-duration", 0, "run length per -bench-serve workload (default 2s)")
+		benchScaleN  = flag.Int("bench-scale-n", 0, "when set with -bench-query, also run the large-n scale pass (cached vs uncached) at this size")
 		benchQuery   = flag.String("bench-query", "", "measure NearestNeighbor (QueryCtx engine vs seed path) for all four algorithms and write the JSON report to this path (skips figures)")
 		benchDynamic = flag.String("bench-dynamic", "", "measure concurrent insert throughput at shard counts 1,2,4,8 and write the JSON report to this path (skips figures)")
 		benchBulk    = flag.String("bench-bulk", "", "measure InsertBatch vs per-op Insert at bulk sizes plus the auto-threshold trade, and write the JSON report to this path (skips figures)")
@@ -80,6 +84,12 @@ func main() {
 		if err != nil {
 			fatalf("bench-query: %v", err)
 		}
+		if *benchScaleN > 0 {
+			rep.ScaleN = *benchScaleN
+			if rep.Scale, err = experiments.BenchQueryScale(*benchScaleN, 8); err != nil {
+				fatalf("bench-query scale pass: %v", err)
+			}
+		}
 		if err := rep.WriteJSON(*benchQuery); err != nil {
 			fatalf("bench-query: %v", err)
 		}
@@ -87,7 +97,27 @@ func main() {
 			fmt.Printf("%-13s d=%-3d %9.0f ns/op %11.0f qps %6.2fx vs legacy %7.1f cand/q %6.1f pages/q %2d allocs/op\n",
 				r.Algorithm, r.Dim, r.NsPerOp, r.QPS, r.SpeedupVsLegacy, r.CandidatesPerQuery, r.NodeAccessesPerQuery, r.AllocsPerOp)
 		}
+		for _, r := range rep.Scale {
+			fmt.Printf("scale %-17s d=%-3d n=%-7d %9.0f ns/op uncached | %7.0f ns/op cached (%6.1fx, hit rate %.3f)\n",
+				r.Algorithm, r.Dim, r.N, r.NsPerOp, r.CachedNsPerOp, r.CacheSpeedup, r.HitRate)
+		}
 		fmt.Printf("wrote %s\n", *benchQuery)
+		return
+	}
+
+	if *benchServe != "" {
+		rep, err := experiments.BenchServe(*benchN, 8, *benchQPS, *benchDur)
+		if err != nil {
+			fatalf("bench-serve: %v", err)
+		}
+		if err := rep.WriteJSON(*benchServe); err != nil {
+			fatalf("bench-serve: %v", err)
+		}
+		for _, r := range rep.Results {
+			fmt.Printf("%-12s sent=%-6d p50=%6.0fus p99=%7.0fus mean=%6.0fus shed=%-4d hits=%-6d hit_rate=%.3f invalidations=%d\n",
+				r.Workload, r.Sent, r.ServiceP50Micros, r.ServiceP99Micros, r.ServiceMeanMicros, r.Shed, r.CacheHits, r.HitRate, r.Invalidations)
+		}
+		fmt.Printf("speedup p50 (nocache/cache): %.1fx\nwrote %s\n", rep.SpeedupP50, *benchServe)
 		return
 	}
 

@@ -30,6 +30,7 @@ import (
 	"repro/internal/iofault"
 	"repro/internal/nncell"
 	"repro/internal/pager"
+	"repro/internal/rescache"
 	"repro/internal/scan"
 	"repro/internal/server"
 	"repro/internal/shard"
@@ -200,7 +201,8 @@ func serveMain(args []string) {
 		alg         = fs.String("alg", "sphere", "approximation algorithm for the synthetic index")
 		decompose   = fs.Int("decompose", 0, "fragment budget per cell for the synthetic index")
 		seed        = fs.Int64("seed", 1, "random seed for the synthetic index")
-		cache       = fs.Int("cache", 64, "pager cache budget in pages")
+		pagerCache  = fs.Int("pager-cache", 64, "pager cache budget in pages")
+		cacheSize   = fs.Int("cache", 0, "result-cache capacity in entries (0 = off): memoize exact NN answers, invalidated at mutation commit")
 		timeout     = fs.Duration("timeout", 5*time.Second, "per-request admission deadline")
 		grace       = fs.Duration("grace", 10*time.Second, "shutdown drain budget")
 		maxBody     = fs.Int64("max-body", 1<<20, "request body cap in bytes")
@@ -225,10 +227,16 @@ func serveMain(args []string) {
 		}
 	}
 
+	var resCache *rescache.Cache
+	if *cacheSize > 0 {
+		resCache = rescache.New(*cacheSize)
+	}
+
 	// The server starts BEFORE the index exists: liveness and /metrics come
 	// up immediately, readiness reports the loading/replaying phase, and
 	// query traffic is shed with 503 until recovery completes.
 	srv := server.New(nil, server.Config{
+		Cache:          resCache,
 		RequestTimeout: *timeout,
 		ShutdownGrace:  *grace,
 		MaxBodyBytes:   *maxBody,
@@ -279,7 +287,7 @@ func serveMain(args []string) {
 		}
 		start := time.Now()
 		if string(magic) == shard.Magic {
-			sx, err := shard.Load(f, shard.Options{Pager: pager.Config{CachePages: *cache}})
+			sx, err := shard.Load(f, shard.Options{Pager: pager.Config{CachePages: *pagerCache}})
 			f.Close()
 			if err != nil {
 				fatalf("load: %v", err)
@@ -294,7 +302,7 @@ func serveMain(args []string) {
 				sx.Len(), sx.Dim(), sx.Fragments(), sx.NumShards(), *loadFile, time.Since(start).Round(time.Millisecond))
 			ix = sx
 		} else {
-			six, err := nncell.Load(f, pager.New(pager.Config{CachePages: *cache}))
+			six, err := nncell.Load(f, pager.New(pager.Config{CachePages: *pagerCache}))
 			f.Close()
 			if err != nil {
 				fatalf("load: %v", err)
@@ -326,7 +334,7 @@ func serveMain(args []string) {
 		if *shards > 1 {
 			sx, err := shard.Build(pts, vec.UnitCube(*d), shard.Options{
 				Shards: *shards,
-				Pager:  pager.Config{CachePages: *cache},
+				Pager:  pager.Config{CachePages: *pagerCache},
 				Index:  opts,
 			})
 			if err != nil {
@@ -336,7 +344,7 @@ func serveMain(args []string) {
 				len(pts), *data, *d, sx.NumShards(), time.Since(start).Round(time.Millisecond))
 			ix = sx
 		} else {
-			six, err := nncell.Build(pts, vec.UnitCube(*d), pager.New(pager.Config{CachePages: *cache}), opts)
+			six, err := nncell.Build(pts, vec.UnitCube(*d), pager.New(pager.Config{CachePages: *pagerCache}), opts)
 			if err != nil {
 				fatalf("build: %v", err)
 			}
@@ -363,7 +371,7 @@ func serveMain(args []string) {
 			if err := x.OpenWALs(*walDir, walOpts); err != nil {
 				fatalf("%v", err)
 			}
-			closeWAL = x.CloseWALs
+			closeWAL = x.Close // drains pending repairs, then closes the per-shard logs
 		case *nncell.Index:
 			var err error
 			if rs, err = x.Recover(nil, *walDir); err != nil {
@@ -385,6 +393,17 @@ func serveMain(args []string) {
 			WALDir:         *walDir,
 			Stats:          rs,
 		})
+	}
+
+	if resCache != nil {
+		// Invalidation must be live before the first query can race a
+		// mutation, so the hook attaches ahead of SetIndex.
+		switch x := ix.(type) {
+		case *shard.Sharded:
+			x.SetMutationHook(resCache.Invalidate)
+		case *nncell.Index:
+			x.SetMutationHook(resCache.Invalidate)
+		}
 	}
 
 	srv.SetIndex(ix)

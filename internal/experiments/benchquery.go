@@ -10,6 +10,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/nncell"
 	"repro/internal/pager"
+	"repro/internal/rescache"
 	"repro/internal/vec"
 )
 
@@ -42,6 +43,26 @@ type QueryBenchResult struct {
 	Fallbacks            uint64  `json:"fallbacks"`
 }
 
+// QueryScaleResult is one large-n measurement of the scale pass: a single
+// dimension in the auto-threshold regime, uncached vs behind the exact
+// result cache on a repeating (hot) query pool.
+type QueryScaleResult struct {
+	Algorithm string `json:"algorithm"`
+	Dim       int    `json:"dim"`
+	N         int    `json:"n"`
+
+	NsPerOp float64 `json:"ns_per_op"`
+	QPS     float64 `json:"qps"`
+
+	// The identical query stream through rescache.Front; after the first
+	// pool pass every query is a hit, so this approximates the hot-spot
+	// serving regime the cache targets.
+	CachedNsPerOp float64 `json:"cached_ns_per_op"`
+	CachedQPS     float64 `json:"cached_qps"`
+	CacheSpeedup  float64 `json:"cache_speedup"` // NsPerOp / CachedNsPerOp
+	HitRate       float64 `json:"hit_rate"`
+}
+
 // QueryBenchReport is the machine-readable query-performance record emitted
 // by `cmd/experiments -bench-query` so the QPS trajectory is tracked across
 // PRs, parallel to BENCH_build.json for construction.
@@ -51,6 +72,10 @@ type QueryBenchReport struct {
 	Queries int                `json:"queries"`
 	Go      string             `json:"go"`
 	Results []QueryBenchResult `json:"results"`
+
+	// Scale holds the optional -bench-scale-n pass (n typically 1e5).
+	ScaleN int                `json:"scale_n,omitempty"`
+	Scale  []QueryScaleResult `json:"scale,omitempty"`
 }
 
 // BenchQuery measures NearestNeighbor for every constraint-selection
@@ -133,6 +158,88 @@ func BenchQuery(n int, dims []int) (*QueryBenchReport, error) {
 		}
 	}
 	return rep, nil
+}
+
+// BenchQueryScale measures NearestNeighbor at large n (default 1e5) at
+// d=8, uncached and behind the exact result cache. The algorithm set is
+// restricted to the two that stay tractable at this scale: Correct in its
+// auto-threshold (effective NN-Direction) regime, and NNDirection itself.
+// Results are meant to be attached to QueryBenchReport.Scale.
+func BenchQueryScale(n, d int) ([]QueryScaleResult, error) {
+	if n <= 0 {
+		n = 100000
+	}
+	if d <= 0 {
+		d = 8
+	}
+	const numQueries = 128
+	variants := []struct {
+		name string
+		opts nncell.Options
+	}{
+		{"auto-nndirection", nncell.Options{Algorithm: nncell.Correct}},
+		{"nn-direction", nncell.Options{Algorithm: nncell.NNDirection}},
+	}
+	var out []QueryScaleResult
+	for _, v := range variants {
+		rng := rand.New(rand.NewSource(int64(1000 + d)))
+		pts := dataset.Deduplicate(dataset.Uniform(rng, n, d))
+		ix, err := nncell.Build(pts, vec.UnitCube(d), pager.New(pager.Config{CachePages: 256}), v.opts)
+		if err != nil {
+			return nil, err
+		}
+		qrng := rand.New(rand.NewSource(99))
+		qs := make([]vec.Point, numQueries)
+		for i := range qs {
+			q := make(vec.Point, d)
+			for j := range q {
+				q[j] = qrng.Float64()
+			}
+			qs[i] = q
+		}
+
+		var benchErr error
+		raw := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ix.NearestNeighbor(qs[i%len(qs)]); err != nil {
+					benchErr = err
+					b.Fatal(err)
+				}
+			}
+		})
+		front := rescache.NewFront(ix, 1<<12)
+		cached := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := front.NearestNeighbor(qs[i%len(qs)]); err != nil {
+					benchErr = err
+					b.Fatal(err)
+				}
+			}
+		})
+		if benchErr != nil {
+			return nil, benchErr
+		}
+		st := front.Cache().Stats()
+		rawNs := float64(raw.NsPerOp())
+		cachedNs := float64(cached.NsPerOp())
+		res := QueryScaleResult{
+			Algorithm:     v.name,
+			Dim:           d,
+			N:             n,
+			NsPerOp:       rawNs,
+			QPS:           1e9 / rawNs,
+			CachedNsPerOp: cachedNs,
+			CachedQPS:     1e9 / cachedNs,
+		}
+		if cachedNs > 0 {
+			res.CacheSpeedup = rawNs / cachedNs
+		}
+		if total := st.Hits + st.Misses; total > 0 {
+			res.HitRate = float64(st.Hits) / float64(total)
+		}
+		out = append(out, res)
+	}
+	return out, nil
 }
 
 // WriteJSON writes the report to path, indented for diff-friendly tracking.

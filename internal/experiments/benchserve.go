@@ -1,0 +1,229 @@
+package experiments
+
+import (
+	"encoding/json"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/loadgen"
+	"repro/internal/nncell"
+	"repro/internal/pager"
+	"repro/internal/rescache"
+	"repro/internal/vec"
+)
+
+// ServeBenchResult is one measured serving configuration of the open-loop
+// serve benchmark (BENCH_serve.json): a Zipf hot-spot read workload driven
+// at a fixed arrival rate against the index, with and without the exact
+// result cache, plus a cache run under insert churn to price invalidation.
+type ServeBenchResult struct {
+	Workload string `json:"workload"` // nocache | cache | cache+churn
+
+	Sent      uint64 `json:"sent"`
+	Completed uint64 `json:"completed"`
+	Errors    uint64 `json:"errors"`
+	Shed      uint64 `json:"shed"`
+
+	ServiceP50Micros  float64 `json:"service_p50_micros"`
+	ServiceP99Micros  float64 `json:"service_p99_micros"`
+	ServiceMeanMicros float64 `json:"service_mean_micros"`
+	OnsetP50Micros    float64 `json:"onset_p50_micros"`
+	OnsetP99Micros    float64 `json:"onset_p99_micros"`
+	AchievedQPS       float64 `json:"achieved_qps"`
+
+	ChurnSent uint64 `json:"churn_sent,omitempty"`
+
+	// Cache counters (zero for the nocache workload).
+	CacheHits          uint64  `json:"cache_hits,omitempty"`
+	CacheMisses        uint64  `json:"cache_misses,omitempty"`
+	HitRate            float64 `json:"hit_rate,omitempty"`
+	Invalidations      uint64  `json:"invalidations,omitempty"`
+	InvalidatedEntries uint64  `json:"invalidated_entries,omitempty"`
+	FillAborts         uint64  `json:"fill_aborts,omitempty"`
+	CacheEntries       int     `json:"cache_entries,omitempty"`
+}
+
+// ServeBenchReport is the machine-readable serving-performance record
+// emitted by `cmd/experiments -bench-serve`. SpeedupP50 is the headline:
+// nocache service p50 over cache service p50 on the identical workload.
+type ServeBenchReport struct {
+	N          int                `json:"n"`
+	Dim        int                `json:"dim"`
+	QPS        float64            `json:"qps"`
+	DurationMS int64              `json:"duration_ms"`
+	PoolSize   int                `json:"pool_size"`
+	ZipfS      float64            `json:"zipf_s"`
+	ChurnQPS   float64            `json:"churn_qps"`
+	Go         string             `json:"go"`
+	Results    []ServeBenchResult `json:"results"`
+
+	SpeedupP50 float64 `json:"speedup_p50"` // nocache p50 / cache p50
+}
+
+// indexTarget drives the bare index: every query pays the full search.
+type indexTarget struct{ ix *nncell.Index }
+
+func (t indexTarget) Query(q vec.Point) error {
+	_, err := t.ix.NearestNeighbor(q)
+	return err
+}
+
+func (t indexTarget) Insert(p vec.Point) error {
+	_, err := t.ix.Insert(p)
+	return err
+}
+
+// frontTarget drives the cache-fronted index.
+type frontTarget struct{ f *rescache.Front }
+
+func (t frontTarget) Query(q vec.Point) error {
+	_, err := t.f.NearestNeighbor(q)
+	return err
+}
+
+func (t frontTarget) Insert(p vec.Point) error {
+	_, err := t.f.Insert(p)
+	return err
+}
+
+// BenchServe measures serve-path latency under an open-loop Zipf hot-spot
+// read workload at the given arrival rate, in three configurations: the
+// bare index, the same index behind the exact result cache, and the cached
+// index with concurrent insert churn invalidating as it goes. The driver
+// bypasses HTTP so the measurement isolates query cost from network RTT;
+// cmd/loadgen covers the HTTP path against a live server.
+func BenchServe(n, d int, qps float64, dur time.Duration) (*ServeBenchReport, error) {
+	if n <= 0 {
+		n = 10000
+	}
+	if d <= 0 {
+		d = 8
+	}
+	if qps <= 0 {
+		// High enough that queueing shows when the serving path is slow,
+		// low enough that the bare n=10^4 index sustains it — so the
+		// nocache row measures query cost, not overload collapse.
+		qps = 1500
+	}
+	if dur <= 0 {
+		dur = 2 * time.Second
+	}
+	const (
+		poolSize = 512
+		zipfS    = 1.3
+		capacity = 1 << 14
+	)
+	churnQPS := qps / 100 // 1% writes, the cache's intended regime
+
+	rep := &ServeBenchReport{
+		N: n, Dim: d, QPS: qps, DurationMS: dur.Milliseconds(),
+		PoolSize: poolSize, ZipfS: zipfS, ChurnQPS: churnQPS,
+		Go: runtime.Version(),
+	}
+
+	build := func(lazy bool) (*nncell.Index, error) {
+		rng := rand.New(rand.NewSource(42))
+		pts := dataset.Deduplicate(dataset.Uniform(rng, n, d))
+		// Correct in its auto-threshold regime (effective NN-Direction at
+		// this scale): the documented bulk-scale configuration, and the
+		// only one whose n=10^4 build stays in benchmark-budget territory.
+		opts := nncell.Options{Algorithm: nncell.Correct}
+		if lazy {
+			opts.LazyRepair = true
+			opts.RepairWorkers = 2
+		}
+		return nncell.Build(pts, vec.UnitCube(d), pager.New(pager.Config{CachePages: 256}), opts)
+	}
+
+	// The same seed across runs reproduces the identical arrival sequence,
+	// so nocache vs cache differ only in the serving path.
+	baseCfg := loadgen.Config{
+		QPS: qps, Duration: dur, Dim: d,
+		PoolSize: poolSize, ZipfS: zipfS, Seed: 7,
+	}
+
+	// Run 1: bare index.
+	ix, err := build(false)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := loadgen.Run(indexTarget{ix: ix}, baseCfg)
+	if err != nil {
+		return nil, err
+	}
+	rep.Results = append(rep.Results, serveResult("nocache", raw, nil))
+
+	// Run 2: cache-fronted, read-only — the hot pool should pin in cache.
+	ix, err = build(false)
+	if err != nil {
+		return nil, err
+	}
+	front := rescache.NewFront(ix, capacity)
+	cached, err := loadgen.Run(frontTarget{f: front}, baseCfg)
+	if err != nil {
+		return nil, err
+	}
+	rep.Results = append(rep.Results, serveResult("cache", cached, front.Cache()))
+
+	// Run 3: cache-fronted with insert churn invalidating during the run.
+	ix, err = build(true)
+	if err != nil {
+		return nil, err
+	}
+	front = rescache.NewFront(ix, capacity)
+	churnCfg := baseCfg
+	churnCfg.ChurnQPS = churnQPS
+	churned, err := loadgen.Run(frontTarget{f: front}, churnCfg)
+	if err != nil {
+		return nil, err
+	}
+	ix.RepairWait()
+	rep.Results = append(rep.Results, serveResult("cache+churn", churned, front.Cache()))
+
+	if cached.ServiceP50Micros > 0 {
+		rep.SpeedupP50 = raw.ServiceP50Micros / cached.ServiceP50Micros
+	}
+	return rep, nil
+}
+
+func serveResult(workload string, r loadgen.Report, c *rescache.Cache) ServeBenchResult {
+	out := ServeBenchResult{
+		Workload:          workload,
+		Sent:              r.Sent,
+		Completed:         r.Completed,
+		Errors:            r.Errors,
+		Shed:              r.Shed,
+		ServiceP50Micros:  r.ServiceP50Micros,
+		ServiceP99Micros:  r.ServiceP99Micros,
+		ServiceMeanMicros: r.ServiceMeanMicros,
+		OnsetP50Micros:    r.OnsetP50Micros,
+		OnsetP99Micros:    r.OnsetP99Micros,
+		AchievedQPS:       r.AchievedQPS,
+		ChurnSent:         r.ChurnSent,
+	}
+	if c != nil {
+		st := c.Stats()
+		out.CacheHits = st.Hits
+		out.CacheMisses = st.Misses
+		if total := st.Hits + st.Misses; total > 0 {
+			out.HitRate = float64(st.Hits) / float64(total)
+		}
+		out.Invalidations = st.Invalidations
+		out.InvalidatedEntries = st.InvalidatedEntries
+		out.FillAborts = st.FillAborts
+		out.CacheEntries = st.Entries
+	}
+	return out
+}
+
+// WriteJSON writes the report to path, indented for diff-friendly tracking.
+func (r *ServeBenchReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

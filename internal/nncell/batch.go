@@ -134,6 +134,7 @@ func (ix *Index) insertBatchLocked(ps []vec.Point, logIt bool) ([]int, error) {
 	} else {
 		ix.commitStaged(affected, stagedFrags)
 	}
+	ix.notifyMutationLocked(affected, ps, ids...)
 	return ids, nil
 }
 
@@ -231,5 +232,6 @@ func (ix *Index) deleteBatchLocked(ids []int, logIt bool) error {
 		ix.clearStaleLocked(id)
 	}
 	ix.commitStaged(affected, stagedFrags)
+	ix.notifyMutationLocked(affected, nil, ids...)
 	return nil
 }

@@ -121,6 +121,7 @@ func (ix *Index) insertLocked(p vec.Point, logIt bool) (int, error) {
 	} else {
 		ix.commitStaged(affected, staged)
 	}
+	ix.notifyMutationLocked(affected, []vec.Point{p}, id)
 	return id, nil
 }
 
@@ -220,6 +221,7 @@ func (ix *Index) deleteLocked(id int, logIt bool) error {
 	}
 	ix.clearStaleLocked(id)
 	ix.commitStaged(affected, staged)
+	ix.notifyMutationLocked(affected, nil, id)
 	return nil
 }
 

@@ -238,10 +238,52 @@ type Index struct {
 	// runs. Set only by failure-injection tests to exercise the dynamic
 	// path's staged-commit rollback; nil in all production configurations.
 	testHookApprox func(id int) error
+
+	// mutHook, when non-nil, is called at the commit point of every mutation
+	// that changes stored cells (Insert, Delete, the batch variants, and
+	// lazy-repair commits) with the ids of the touched cells and, for
+	// inserts, the coordinates of the points added. It runs while ix.mu is
+	// held (write side), so it completes before the mutation is
+	// acknowledged — the property the exact result cache's invalidation
+	// depends on (see internal/rescache). The hook must not call back into
+	// the index.
+	mutHook func(cells []int, added []vec.Point)
+}
+
+// SetMutationHook installs (or, with nil, removes) the commit-time mutation
+// hook. The hook receives the ids of every cell a mutation created, deleted,
+// or whose stored approximation it changed, plus the coordinates of any
+// points the mutation inserted (the geometric signal a result cache needs:
+// an insert can only change a memoized answer if the new point beats the
+// stored distance, a condition the cell-id set alone cannot decide across
+// shards). It runs synchronously before the mutation returns.
+func (ix *Index) SetMutationHook(h func(cells []int, added []vec.Point)) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.mutHook = h
+}
+
+// notifyMutationLocked invokes the mutation hook with the affected cells,
+// the ids of the points the mutation itself added or removed, and the
+// coordinates of inserted points. Callers hold ix.mu (write side).
+func (ix *Index) notifyMutationLocked(affected []int, added []vec.Point, own ...int) {
+	if ix.mutHook == nil {
+		return
+	}
+	cells := make([]int, 0, len(affected)+len(own))
+	cells = append(cells, affected...)
+	cells = append(cells, own...)
+	if len(cells) > 0 || len(added) > 0 {
+		ix.mutHook(cells, added)
+	}
 }
 
 // ErrEmpty is returned when building over an empty point set.
 var ErrEmpty = errors.New("nncell: empty point set")
+
+// ErrBadK is returned by KNearest for non-positive k. Callers can detect it
+// with errors.Is; the returned error carries the offending value.
+var ErrBadK = errors.New("nncell: k must be positive")
 
 // Build constructs the index over points (bulk load): it first indexes the
 // raw points in an X-tree (used by the Point/Sphere/NN-Direction constraint

@@ -1,6 +1,7 @@
 package nncell
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -248,8 +249,8 @@ func TestKNearestMatchesScan(t *testing.T) {
 			}
 		}
 	}
-	if res, _ := ix.KNearest(vec.Point{0, 0, 0, 0}, 0); res != nil {
-		t.Error("k=0 returned results")
+	if res, err := ix.KNearest(vec.Point{0, 0, 0, 0}, 0); !errors.Is(err, ErrBadK) {
+		t.Errorf("k=0: got %v, %v; want ErrBadK", res, err)
 	}
 }
 

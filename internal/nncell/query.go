@@ -1,6 +1,7 @@
 package nncell
 
 import (
+	"fmt"
 	"math"
 	"runtime"
 	"sync"
@@ -221,11 +222,13 @@ func (ix *Index) CandidatesAppend(dst []int, q vec.Point) []int {
 // (exact best-first search), so the index is usable as a drop-in k-NN
 // structure either way.
 //
-// k <= 0 returns an empty result without touching the index or its stats;
-// every other path holds the read lock once and counts exactly one query.
+// k <= 0 returns ErrBadK without touching the index or its stats; if k
+// exceeds the number of live points the result is exactly the live set
+// (tombstones excluded), sorted by distance. Every locked path holds the
+// read lock once and counts exactly one query.
 func (ix *Index) KNearest(q vec.Point, k int) ([]Neighbor, error) {
 	if k <= 0 {
-		return nil, nil
+		return nil, fmt.Errorf("%w (got k=%d)", ErrBadK, k)
 	}
 	qc := ix.acquireCtx()
 	defer ix.releaseCtx(qc)

@@ -1,6 +1,7 @@
 package nncell
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -97,16 +98,16 @@ func TestCandidatesCountsStats(t *testing.T) {
 	}
 }
 
-// KNearest with k <= 0 answers empty without touching the index or its stats;
-// valid k counts exactly one query.
+// KNearest with k <= 0 fails with ErrBadK without touching the index or its
+// stats; valid k counts exactly one query.
 func TestKNearestStatsDiscipline(t *testing.T) {
 	pts := uniquePoints(t, dataset.NameUniform, 63, 80, 4)
 	ix := mustBuild(t, pts, Options{Algorithm: Correct})
 	before := ix.Stats()
 	for _, k := range []int{0, -3} {
 		nbs, err := ix.KNearest(randQuery(rand.New(rand.NewSource(64)), 4), k)
-		if err != nil || nbs != nil {
-			t.Fatalf("k=%d: got %v, %v; want nil, nil", k, nbs, err)
+		if !errors.Is(err, ErrBadK) || nbs != nil {
+			t.Fatalf("k=%d: got %v, %v; want nil, ErrBadK", k, nbs, err)
 		}
 	}
 	if after := ix.Stats(); after != before {

@@ -155,6 +155,11 @@ func (ix *Index) repairOne(cc *cellCtx, id int) {
 		delete(ix.stale, id)
 		ix.stats.staleCells.Add(-1)
 		ix.stats.repairs.Add(1)
+		// A repair commit swaps the cell's stored approximation; the exact
+		// answer function is unchanged (the true cell was fixed at mark time),
+		// but notifying keeps the result cache's invariant conservative: no
+		// entry filled against a pre-repair fragment survives the repair.
+		ix.notifyMutationLocked(nil, nil, id)
 		ix.mu.Unlock()
 		return
 	}
@@ -168,6 +173,17 @@ func (ix *Index) repairOne(cc *cellCtx, id int) {
 		ix.rq.pushLocked(id)
 		ix.rq.mu.Unlock()
 	}
+}
+
+// RepairPending reports whether any repair work is queued or in flight.
+// A false return is only a snapshot — a concurrent mutation may enqueue
+// immediately after — but a caller that has quiesced writers can use it to
+// skip a RepairWait that would trivially return.
+func (ix *Index) RepairPending() bool {
+	rq := &ix.rq
+	rq.mu.Lock()
+	defer rq.mu.Unlock()
+	return len(rq.queue) > 0 || rq.active > 0
 }
 
 // RepairWait drains the repair queue, participating in the work rather than

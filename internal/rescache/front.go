@@ -1,0 +1,73 @@
+package rescache
+
+import (
+	"repro/internal/nncell"
+	"repro/internal/vec"
+)
+
+// Inner is the slice of the index surface the Front needs: the NN query it
+// memoizes, the mutations it forwards, and the hook registration that wires
+// commit-time invalidation. Both *nncell.Index and *shard.Sharded satisfy
+// it.
+type Inner interface {
+	NearestNeighbor(q vec.Point) (nncell.Neighbor, error)
+	Insert(p vec.Point) (int, error)
+	Delete(id int) error
+	InsertBatch(ps []vec.Point) ([]int, error)
+	DeleteBatch(ids []int) error
+	SetMutationHook(h func(cells []int, added []vec.Point))
+}
+
+// Front wraps an index with the result cache: NearestNeighbor consults the
+// cache first, mutations pass through (their commit hooks invalidate). It
+// is the library-level integration; the HTTP server wires the same Cache
+// into its handlers directly instead (it needs the concrete index type for
+// snapshots and WAL control, plus per-endpoint counters).
+type Front struct {
+	Inner
+	cache *Cache
+}
+
+// NewFront builds a cache of the given capacity (<= 0 means
+// DefaultCapacity) and installs its invalidation as inner's mutation hook.
+func NewFront(inner Inner, capacity int) *Front {
+	c := New(capacity)
+	inner.SetMutationHook(c.Invalidate)
+	return &Front{Inner: inner, cache: c}
+}
+
+// Cache exposes the underlying cache (stats, manual invalidation in tests).
+func (f *Front) Cache() *Cache { return f.cache }
+
+// NearestNeighbor answers from the cache when possible and fills it on a
+// miss. The epoch is captured before the inner query runs — see
+// Cache.Epoch for why that ordering is what makes the fill sound.
+func (f *Front) NearestNeighbor(q vec.Point) (nncell.Neighbor, error) {
+	if nb, ok := f.cache.Get(q); ok {
+		return nb, nil
+	}
+	epoch := f.cache.Epoch()
+	nb, err := f.Inner.NearestNeighbor(q)
+	if err != nil {
+		return nb, err
+	}
+	f.cache.Put(q, nb, epoch)
+	return nb, nil
+}
+
+// NearestNeighborBatch answers each query through the cached single-query
+// path. (The inner batch entry points exist on both index kinds, but a
+// cached batch that partitioned hits from misses would have to re-associate
+// results positionally anyway; per-query lookup keeps the cache counters
+// and the epoch protocol identical to the scalar path.)
+func (f *Front) NearestNeighborBatch(qs []vec.Point, workers int) ([]nncell.Neighbor, error) {
+	out := make([]nncell.Neighbor, len(qs))
+	for i, q := range qs {
+		nb, err := f.NearestNeighbor(q)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = nb
+	}
+	return out, nil
+}

@@ -140,14 +140,50 @@ func (s *Server) clampK(w http.ResponseWriter, k int) (int, bool) {
 	return k, true
 }
 
+// queryStatus maps a query-path error to an HTTP status: an empty index is
+// the request asking for something that does not exist (404), a bad k is a
+// caller error (400), anything else is the serving path failing (503).
+func queryStatus(err error) int {
+	switch {
+	case errors.Is(err, nncell.ErrEmpty):
+		return http.StatusNotFound
+	case errors.Is(err, nncell.ErrBadK):
+		return http.StatusBadRequest
+	}
+	return http.StatusServiceUnavailable
+}
+
+// cachedNN is the single-NN query path shared by /v1/nn and /v1/knn (k=1):
+// consult the result cache when configured, fall through to the index on a
+// miss, and fill with the epoch captured before the index ran (the ordering
+// rescache's fill-race guard requires). Per-endpoint hit/miss counters feed
+// the nncell_cache_* metrics.
+func (s *Server) cachedNN(endpoint string, q vec.Point) (nncell.Neighbor, error) {
+	c := s.cfg.Cache
+	if c == nil {
+		return s.index().NearestNeighbor(q)
+	}
+	if nb, ok := c.Get(q); ok {
+		s.m.cacheCount(endpoint, true)
+		return nb, nil
+	}
+	s.m.cacheCount(endpoint, false)
+	epoch := c.Epoch()
+	nb, err := s.index().NearestNeighbor(q)
+	if err == nil {
+		c.Put(q, nb, epoch)
+	}
+	return nb, err
+}
+
 func (s *Server) handleNN(w http.ResponseWriter, r *http.Request) {
 	q, _, ok := s.decodeQuery(w, r)
 	if !ok {
 		return
 	}
-	nb, err := s.index().NearestNeighbor(q)
+	nb, err := s.cachedNN("nn", q)
 	if err != nil {
-		writeError(w, http.StatusServiceUnavailable, "query failed: %v", err)
+		writeError(w, queryStatus(err), "query failed: %v", err)
 		return
 	}
 	p, _ := s.index().Point(nb.ID)
@@ -163,9 +199,23 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	nbs, err := s.index().KNearest(q, k)
+	var (
+		nbs []nncell.Neighbor
+		err error
+	)
+	if k == 1 {
+		// k=1 is an NN query in k-NN clothing; route it through the cache.
+		// Larger k is never cached (first-order invalidation sets do not
+		// bound order-k answer changes — see rescache).
+		var nb nncell.Neighbor
+		if nb, err = s.cachedNN("knn", q); err == nil {
+			nbs = []nncell.Neighbor{nb}
+		}
+	} else {
+		nbs, err = s.index().KNearest(q, k)
+	}
 	if err != nil {
-		writeError(w, http.StatusServiceUnavailable, "query failed: %v", err)
+		writeError(w, queryStatus(err), "query failed: %v", err)
 		return
 	}
 	out := make([]neighborResponse, len(nbs))
@@ -239,9 +289,9 @@ func (s *Server) handleNNBatch(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	nbs, err := s.index().NearestNeighborBatch(qs, batchWorkers(len(qs)))
+	nbs, err := s.batchNN(qs)
 	if err != nil {
-		writeError(w, http.StatusServiceUnavailable, "query failed: %v", err)
+		writeError(w, queryStatus(err), "query failed: %v", err)
 		return
 	}
 	out := make([]neighborResponse, len(nbs))
@@ -251,6 +301,43 @@ func (s *Server) handleNNBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, struct {
 		Results []neighborResponse `json:"results"`
 	}{out})
+}
+
+// batchNN answers a batch of NN queries, partitioning through the result
+// cache when one is configured: hits are filled in directly, the misses run
+// through the index's concurrent batch path against one epoch captured
+// before any of them computes, and successful answers back-fill the cache.
+func (s *Server) batchNN(qs []vec.Point) ([]nncell.Neighbor, error) {
+	c := s.cfg.Cache
+	if c == nil {
+		return s.index().NearestNeighborBatch(qs, batchWorkers(len(qs)))
+	}
+	out := make([]nncell.Neighbor, len(qs))
+	var missQs []vec.Point
+	var missAt []int
+	for i, q := range qs {
+		if nb, ok := c.Get(q); ok {
+			s.m.cacheCount("nn_batch", true)
+			out[i] = nb
+			continue
+		}
+		s.m.cacheCount("nn_batch", false)
+		missQs = append(missQs, q)
+		missAt = append(missAt, i)
+	}
+	if len(missQs) == 0 {
+		return out, nil
+	}
+	epoch := c.Epoch()
+	nbs, err := s.index().NearestNeighborBatch(missQs, batchWorkers(len(missQs)))
+	if err != nil {
+		return nil, err
+	}
+	for k, nb := range nbs {
+		out[missAt[k]] = nb
+		c.Put(missQs[k], nb, epoch)
+	}
+	return out, nil
 }
 
 func (s *Server) handleKNNBatch(w http.ResponseWriter, r *http.Request) {
@@ -266,7 +353,7 @@ func (s *Server) handleKNNBatch(w http.ResponseWriter, r *http.Request) {
 	for i, q := range qs {
 		nbs, err := s.index().KNearest(q, k)
 		if err != nil {
-			writeError(w, http.StatusServiceUnavailable, "query %d failed: %v", i, err)
+			writeError(w, queryStatus(err), "query %d failed: %v", i, err)
 			return
 		}
 		res := make([]neighborResponse, len(nbs))

@@ -27,6 +27,7 @@ import (
 	"repro/internal/iofault"
 	"repro/internal/nncell"
 	"repro/internal/pager"
+	"repro/internal/rescache"
 	"repro/internal/vec"
 )
 
@@ -95,6 +96,13 @@ type Config struct {
 	// FS is the filesystem snapshots are written through. Default the real
 	// one; crash tests inject an iofault.Mem.
 	FS iofault.FS
+	// Cache, if non-nil, memoizes exact single-NN answers on /v1/nn,
+	// /v1/knn (k=1) and /v1/nn/batch. The caller must ALSO install
+	// Cache.Invalidate as the served index's mutation hook (SetMutationHook)
+	// before mutations flow, or cached answers go stale — the serve command
+	// wires both ends. Handlers keep per-endpoint hit/miss counters and
+	// /metrics exposes the nncell_cache_* series. Nil disables caching.
+	Cache *rescache.Cache
 }
 
 func (c *Config) normalize() {

@@ -1,0 +1,89 @@
+package shard
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/nncell"
+	"repro/internal/pager"
+	"repro/internal/scan"
+	"repro/internal/vec"
+)
+
+// TestShardedKNearestOverflowReturnsLiveSet mirrors the serial overflow
+// oracle across the sharded merge: with tombstones spread over shards, any
+// k at or above the global live count must return exactly the live set,
+// matching a brute scan over the survivors.
+func TestShardedKNearestOverflowReturnsLiveSet(t *testing.T) {
+	const (
+		d = 4
+		S = 3
+	)
+	pts := uniquePoints(t, 401, 90, d)
+	s := mustBuild(t, pts, d, S)
+
+	gids := s.IDs()
+	deleted := map[int]bool{}
+	for i, gid := range gids {
+		if i%3 == 0 {
+			if err := s.Delete(gid); err != nil {
+				t.Fatal(err)
+			}
+			deleted[gid] = true
+		}
+	}
+	var liveIDs []int
+	var livePts []vec.Point
+	for _, gid := range gids {
+		if !deleted[gid] {
+			p, ok := s.Point(gid)
+			if !ok {
+				t.Fatalf("live gid %d has no point", gid)
+			}
+			liveIDs = append(liveIDs, gid)
+			livePts = append(livePts, p)
+		}
+	}
+	oracle := scan.New(livePts, vec.Euclidean{}, pager.New(pager.Config{}))
+
+	rng := rand.New(rand.NewSource(402))
+	for trial := 0; trial < 20; trial++ {
+		q := randQuery(rng, d)
+		for _, k := range []int{len(liveIDs), len(liveIDs) + 7, len(pts) * 2} {
+			nbs, err := s.KNearest(q, k)
+			if err != nil {
+				t.Fatalf("k=%d: %v", k, err)
+			}
+			if len(nbs) != len(liveIDs) {
+				t.Fatalf("k=%d returned %d neighbors, want the live set of %d", k, len(nbs), len(liveIDs))
+			}
+			seen := map[int]bool{}
+			for _, nb := range nbs {
+				if deleted[nb.ID] {
+					t.Fatalf("k=%d resurrected tombstone %d", k, nb.ID)
+				}
+				if seen[nb.ID] {
+					t.Fatalf("k=%d returned id %d twice", k, nb.ID)
+				}
+				seen[nb.ID] = true
+			}
+			want := oracle.KNearest(q, len(liveIDs))
+			for i, nb := range nbs {
+				if got, exp := nb.Dist2, want[i].Dist2; got != exp {
+					t.Fatalf("k=%d rank %d: dist² %v, oracle %v", k, i, got, exp)
+				}
+				if exp := liveIDs[want[i].Index]; nb.ID != exp {
+					t.Fatalf("k=%d rank %d: id %d, oracle %d", k, i, nb.ID, exp)
+				}
+			}
+		}
+	}
+
+	// The sharded layer surfaces the same typed error for non-positive k.
+	for _, k := range []int{0, -4} {
+		if _, err := s.KNearest(randQuery(rng, d), k); !errors.Is(err, nncell.ErrBadK) {
+			t.Fatalf("k=%d: error %v, want nncell.ErrBadK", k, err)
+		}
+	}
+}

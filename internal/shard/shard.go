@@ -312,10 +312,16 @@ func (s *Sharded) DeleteBatch(gids []int) error {
 
 // RepairWait drains every shard's lazy-repair queue concurrently (see
 // nncell.Index.RepairWait); a no-op when LazyRepair is off or nothing is
-// stale.
+// stale. Every shard is inspected — an idle shard (no queued or in-flight
+// repairs) is skipped without spawning a drain goroutine, but never cuts the
+// loop short: shards with pending work are all drained to completion before
+// RepairWait returns, regardless of where the idle ones sit in the order.
 func (s *Sharded) RepairWait() {
 	var wg sync.WaitGroup
 	for _, ix := range s.shards {
+		if !ix.RepairPending() {
+			continue
+		}
 		wg.Add(1)
 		go func(ix *nncell.Index) {
 			defer wg.Done()
@@ -323,6 +329,28 @@ func (s *Sharded) RepairWait() {
 		}(ix)
 	}
 	wg.Wait()
+}
+
+// SetMutationHook installs h on every shard, wrapped so the hook observes
+// global cell ids (see nncell.Index.SetMutationHook for the contract). A nil
+// h removes the hooks. The per-shard wrapper runs under that shard's write
+// lock only, so hooks from different shards may run concurrently — h must be
+// safe for concurrent use (rescache.Cache.Invalidate is).
+func (s *Sharded) SetMutationHook(h func(cells []int, added []vec.Point)) {
+	for i, ix := range s.shards {
+		if h == nil {
+			ix.SetMutationHook(nil)
+			continue
+		}
+		shardNo := i
+		ix.SetMutationHook(func(locals []int, added []vec.Point) {
+			gids := make([]int, len(locals))
+			for k, local := range locals {
+				gids[k] = s.globalID(shardNo, local)
+			}
+			h(gids, added)
+		})
+	}
 }
 
 // NearestNeighbor fans the query out over all shards and returns the minimum
@@ -377,7 +405,7 @@ func (s *Sharded) CandidatesAppend(dst []int, q vec.Point) []int {
 // the true k nearest are guaranteed to appear among the S·k candidates.
 func (s *Sharded) KNearest(q vec.Point, k int) ([]nncell.Neighbor, error) {
 	if k <= 0 {
-		return nil, nil
+		return nil, fmt.Errorf("%w (got k=%d)", nncell.ErrBadK, k)
 	}
 	lists := make([][]nncell.Neighbor, 0, len(s.shards))
 	any := false

@@ -60,6 +60,17 @@ func (s *Sharded) CloseWALs() error {
 	return first
 }
 
+// Close quiesces the sharded index for shutdown: it drains every shard's
+// lazy-repair pool (RepairWait blocks until no repair goroutine is queued or
+// in flight, so none can outlive the call and touch a closed log), then
+// flushes, closes and detaches the per-shard WALs. Safe to call with repairs
+// pending — that is the point — and with no WALs attached (then it only
+// drains). Callers must have stopped issuing mutations first.
+func (s *Sharded) Close() error {
+	s.RepairWait()
+	return s.CloseWALs()
+}
+
 // Recover replays each shard's log directory under root into that shard.
 // Stats are summed across shards; per-shard divergence errors abort with
 // the shard number attached.
