@@ -3,9 +3,9 @@
 # §"Construction hot path" and §"Query engine").
 GO ?= go
 
-.PHONY: check vet build test race serve-smoke crash-test stale-test cache-test bench-smoke bench-build bench-query bench-dynamic bench-bulk bench-serve bench
+.PHONY: check vet build test race serve-smoke crash-test stale-test cache-test route-test bench-smoke bench-build bench-query bench-dynamic bench-bulk bench-serve bench-route bench
 
-check: vet build test race serve-smoke crash-test stale-test cache-test bench-smoke
+check: vet build test race serve-smoke crash-test stale-test cache-test route-test bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -51,6 +51,15 @@ stale-test:
 cache-test:
 	$(GO) test -race -count 1 -short -run 'TestCacheCoherenceChurn' ./internal/rescache/
 
+# The routing gate: grid-routed answers must be oracle-equivalent to the
+# sequential scan under batched churn (boundary points, ±0.0 keys, concurrent
+# readers, race detector on), grid routing must actually visit few shards,
+# and grid snapshots must round-trip (plus v1 compat and corrupt-header
+# rejection). Also covers the empty-bootstrap serve path.
+route-test:
+	$(GO) test -race -count 1 -run 'TestGrid|TestDeriveGrid|TestShardedPersist|TestShardedLoad|TestShardedNewEmpty|TestShardedKNearest' ./internal/shard/
+	$(GO) test -count 1 -run 'TestServeGridEmptyBootstrap' ./cmd/nncell/
+
 # One iteration of the hot-path benchmarks: proves the 0 allocs/op contracts
 # of the warm LP loop and the warm query engine, and that construction and
 # the query-bench tool still run end to end.
@@ -93,3 +102,9 @@ bench-bulk:
 # counts, cache speedup).
 bench-serve:
 	$(GO) run ./cmd/experiments -bench-serve BENCH_serve.json
+
+# Regenerate the machine-readable routing record: shards visited per NN query
+# and query latency under hash vs grid routing at S=16/64, uniform and
+# near-data workloads, every answer verified against the sequential scan.
+bench-route:
+	$(GO) run ./cmd/experiments -bench-route BENCH_route.json

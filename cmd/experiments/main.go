@@ -12,6 +12,7 @@
 //	experiments -bench-query BENCH_query.json
 //	experiments -bench-dynamic BENCH_dynamic.json
 //	experiments -bench-bulk BENCH_bulk.json
+//	experiments -bench-route BENCH_route.json
 package main
 
 import (
@@ -44,6 +45,7 @@ func main() {
 		benchScaleN  = flag.Int("bench-scale-n", 0, "when set with -bench-query, also run the large-n scale pass (cached vs uncached) at this size")
 		benchQuery   = flag.String("bench-query", "", "measure NearestNeighbor (QueryCtx engine vs seed path) for all four algorithms and write the JSON report to this path (skips figures)")
 		benchDynamic = flag.String("bench-dynamic", "", "measure concurrent insert throughput at shard counts 1,2,4,8 and write the JSON report to this path (skips figures)")
+		benchRoute   = flag.String("bench-route", "", "measure NN shards-visited and latency for hash vs grid routing at shard counts 16,64 and write the JSON report to this path (skips figures)")
 		benchBulk    = flag.String("bench-bulk", "", "measure InsertBatch vs per-op Insert at bulk sizes plus the auto-threshold trade, and write the JSON report to this path (skips figures)")
 		benchN       = flag.Int("bench-n", 0, "database size for -bench-build/-bench-query (default 250); overrides -bench-sizes with a single size for -bench-dynamic/-bench-bulk")
 		benchSizes   = flag.String("bench-sizes", "", "comma-separated base sizes for -bench-dynamic (default 512,10000) and -bench-bulk (default 10000,100000)")
@@ -146,6 +148,26 @@ func main() {
 				r.BaseN, r.Shards, r.Dim, r.Algorithm, r.LazyRepair, r.NsPerInsert, r.InsertsPerSec, r.SpeedupVs1Shard)
 		}
 		fmt.Printf("wrote %s\n", *benchDynamic)
+		return
+	}
+
+	if *benchRoute != "" {
+		shards, err := parseInts(*benchShards)
+		if err != nil {
+			fatalf("bad -bench-shards: %v", err)
+		}
+		rep, err := experiments.BenchRoute(*benchN, 8, shards, *queries)
+		if err != nil {
+			fatalf("bench-route: %v", err)
+		}
+		if err := rep.WriteJSON(*benchRoute); err != nil {
+			fatalf("bench-route: %v", err)
+		}
+		for _, r := range rep.Results {
+			fmt.Printf("shards=%-3d route=%-5s workload=%-8s mean visited %6.2f   p50=%7.1fus p99=%7.1fus   verified=%d\n",
+				r.Shards, r.Policy, r.Workload, r.MeanShardsVisited, r.P50Micros, r.P99Micros, r.Verified)
+		}
+		fmt.Printf("wrote %s\n", *benchRoute)
 		return
 	}
 

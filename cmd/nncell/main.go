@@ -194,8 +194,9 @@ func serveMain(args []string) {
 	var (
 		addr        = fs.String("addr", ":8080", "listen address")
 		loadFile    = fs.String("load", "", "serve the index saved in this file (single or sharded format, auto-detected)")
-		shards      = fs.Int("shards", 1, "partition the index into this many hash-routed shards (writes lock one shard; queries fan out)")
-		n           = fs.Int("n", 2000, "points for a synthetic index (when -load is absent)")
+		shards      = fs.Int("shards", 1, "partition the index into this many shards (writes lock one shard; see -route for query fan-out)")
+		routeName   = fs.String("route", "hash", "shard routing policy: hash (uniform, all-shard fan-out) or grid (space tiles, ring-pruned fan-out)")
+		n           = fs.Int("n", 2000, "points for a synthetic index (when -load is absent; 0 bootstraps an empty index that accepts inserts)")
 		d           = fs.Int("d", 8, "dimensionality of the synthetic index")
 		data        = fs.String("data", "uniform", "synthetic dataset: uniform|grid|diagonal|clustered|fourier")
 		alg         = fs.String("alg", "sphere", "approximation algorithm for the synthetic index")
@@ -218,6 +219,14 @@ func serveMain(args []string) {
 	fs.Parse(args)
 	explicit := map[string]bool{}
 	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+
+	route, err := shard.ParseRouteKind(*routeName)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if explicit["route"] && *loadFile == "" && *shards <= 1 {
+		fatalf("-route requires -shards > 1 (a single index has no partition to route)")
+	}
 
 	var policy wal.Policy
 	if *walDir != "" {
@@ -272,8 +281,9 @@ func serveMain(args []string) {
 		}
 		srv.SetNotReady("loading snapshot")
 		// The snapshot magic decides the loader: single-index (NNCELLv2)
-		// streams keep working unchanged, sharded (NNSHRDv1) streams restore
-		// the full partition, whose width is recorded in the stream.
+		// streams keep working unchanged, sharded streams (NNSHRDv2, or the
+		// routing-free v1) restore the full partition, whose width and
+		// routing policy are recorded in the stream.
 		f, err := os.Open(*loadFile)
 		if err != nil {
 			fatalf("%v", err)
@@ -286,7 +296,7 @@ func serveMain(args []string) {
 			fatalf("load: %v", err)
 		}
 		start := time.Now()
-		if string(magic) == shard.Magic {
+		if shard.IsSnapshotMagic(string(magic)) {
 			sx, err := shard.Load(f, shard.Options{Pager: pager.Config{CachePages: *pagerCache}})
 			f.Close()
 			if err != nil {
@@ -298,8 +308,11 @@ func serveMain(args []string) {
 			if explicit["d"] && *d != sx.Dim() {
 				fatalf("load: -d %d conflicts with the snapshot's dimensionality %d", *d, sx.Dim())
 			}
-			fmt.Printf("nncell: loaded %d points (d=%d, %d fragments, %d shards) from %s in %v\n",
-				sx.Len(), sx.Dim(), sx.Fragments(), sx.NumShards(), *loadFile, time.Since(start).Round(time.Millisecond))
+			if explicit["route"] && route != sx.RouteKind() {
+				fatalf("load: -route %v conflicts with the snapshot's %v routing (placement is recorded in the stream)", route, sx.RouteKind())
+			}
+			fmt.Printf("nncell: loaded %d points (d=%d, %d fragments, %d shards, %v-routed) from %s in %v\n",
+				sx.Len(), sx.Dim(), sx.Fragments(), sx.NumShards(), sx.RouteKind(), *loadFile, time.Since(start).Round(time.Millisecond))
 			ix = sx
 		} else {
 			six, err := nncell.Load(f, pager.New(pager.Config{CachePages: *pagerCache}))
@@ -310,11 +323,45 @@ func serveMain(args []string) {
 			if explicit["shards"] && *shards != 1 {
 				fatalf("load: -shards %d conflicts with a single-index snapshot (it has no partition)", *shards)
 			}
+			if explicit["route"] {
+				fatalf("load: -route applies to sharded indexes; the snapshot is single-index")
+			}
 			if explicit["d"] && *d != six.Dim() {
 				fatalf("load: -d %d conflicts with the snapshot's dimensionality %d", *d, six.Dim())
 			}
 			fmt.Printf("nncell: loaded %d points (d=%d, %d fragments) from %s in %v\n",
 				six.Len(), six.Dim(), six.Fragments(), *loadFile, time.Since(start).Round(time.Millisecond))
+			ix = six
+		}
+	} else if *n == 0 {
+		// Empty bootstrap: start with zero points and let routed inserts
+		// (WAL-replayed or live) populate the index. The data space defaults
+		// to the unit cube of the requested dimensionality.
+		srv.SetNotReady("bootstrapping empty index")
+		algorithm, err := parseAlg(*alg)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		opts := nncell.Options{Algorithm: algorithm, Decompose: *decompose}
+		if *shards > 1 {
+			sx, err := shard.NewEmpty(*d, vec.UnitCube(*d), shard.Options{
+				Shards: *shards,
+				Route:  route,
+				Pager:  pager.Config{CachePages: *pagerCache},
+				Index:  opts,
+			})
+			if err != nil {
+				fatalf("bootstrap: %v", err)
+			}
+			fmt.Printf("nncell: bootstrapped empty sharded index (d=%d, %d %v-routed shards)\n",
+				*d, sx.NumShards(), sx.RouteKind())
+			ix = sx
+		} else {
+			six, err := nncell.NewEmpty(*d, vec.UnitCube(*d), pager.New(pager.Config{CachePages: *pagerCache}), opts)
+			if err != nil {
+				fatalf("bootstrap: %v", err)
+			}
+			fmt.Printf("nncell: bootstrapped empty index (d=%d)\n", *d)
 			ix = six
 		}
 	} else {
@@ -334,14 +381,15 @@ func serveMain(args []string) {
 		if *shards > 1 {
 			sx, err := shard.Build(pts, vec.UnitCube(*d), shard.Options{
 				Shards: *shards,
+				Route:  route,
 				Pager:  pager.Config{CachePages: *pagerCache},
 				Index:  opts,
 			})
 			if err != nil {
 				fatalf("build: %v", err)
 			}
-			fmt.Printf("nncell: built synthetic sharded index, %d %s points (d=%d) across %d shards in %v\n",
-				len(pts), *data, *d, sx.NumShards(), time.Since(start).Round(time.Millisecond))
+			fmt.Printf("nncell: built synthetic sharded index, %d %s points (d=%d) across %d %v-routed shards in %v\n",
+				len(pts), *data, *d, sx.NumShards(), sx.RouteKind(), time.Since(start).Round(time.Millisecond))
 			ix = sx
 		} else {
 			six, err := nncell.Build(pts, vec.UnitCube(*d), pager.New(pager.Config{CachePages: *pagerCache}), opts)
@@ -409,7 +457,7 @@ func serveMain(args []string) {
 	srv.SetIndex(ix)
 	fmt.Printf("nncell: serving on http://%s\n", srv.Addr())
 
-	err := <-serveDone
+	err = <-serveDone
 	if closeWAL != nil {
 		if cerr := closeWAL(); cerr != nil && err == nil {
 			err = fmt.Errorf("closing wal: %w", cerr)

@@ -191,3 +191,115 @@ func TestServeSmoke(t *testing.T) {
 		t.Errorf("no drained-shutdown message:\n%s", tail.String())
 	}
 }
+
+// Empty-bootstrap + grid-routing smoke: `serve -n 0 -shards -route grid`
+// must come up with zero points, accept routed inserts, answer queries, and
+// expose the routing policy and shards-visited histogram on /metrics.
+func TestServeGridEmptyBootstrap(t *testing.T) {
+	cmd := exec.Command(binPath, "serve", "-addr", "127.0.0.1:0",
+		"-n", "0", "-d", "3", "-shards", "8", "-route", "grid")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	sc := bufio.NewScanner(stdout)
+	var baseURL string
+	deadline := time.After(15 * time.Second)
+	lineCh := make(chan string)
+	go func() {
+		for sc.Scan() {
+			lineCh <- sc.Text()
+		}
+		close(lineCh)
+	}()
+	var banner strings.Builder
+	for baseURL == "" {
+		select {
+		case line, ok := <-lineCh:
+			if !ok {
+				t.Fatalf("serve exited before printing its address:\n%s", banner.String())
+			}
+			banner.WriteString(line)
+			banner.WriteString("\n")
+			if i := strings.Index(line, "serving on "); i >= 0 {
+				baseURL = strings.TrimSpace(line[i+len("serving on "):])
+			}
+		case <-deadline:
+			t.Fatal("timed out waiting for serve banner")
+		}
+	}
+	if !strings.Contains(banner.String(), "bootstrapped empty sharded index") {
+		t.Errorf("no empty-bootstrap banner:\n%s", banner.String())
+	}
+
+	post := func(path, body string) string {
+		resp, err := http.Post(baseURL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST %s: status %d\n%s", path, resp.StatusCode, b)
+		}
+		return string(b)
+	}
+	get := func(path string) string {
+		resp, err := http.Get(baseURL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d\n%s", path, resp.StatusCode, b)
+		}
+		return string(b)
+	}
+
+	post("/v1/insert", `{"point":[0.2,0.4,0.6]}`)
+	post("/v1/insert", `{"point":[0.8,0.1,0.3]}`)
+
+	var nn struct {
+		ID    int     `json:"id"`
+		Dist2 float64 `json:"dist2"`
+	}
+	if err := json.Unmarshal([]byte(get("/v1/nn?point=0.21,0.41,0.61")), &nn); err != nil {
+		t.Fatalf("nn: %v", err)
+	}
+	if nn.Dist2 > 0.01 {
+		t.Errorf("nn = %+v, want the freshly inserted neighbor", nn)
+	}
+
+	metrics := get("/metrics")
+	for _, want := range []string{
+		`nncell_route_info{policy="grid"} 1`,
+		"nncell_query_shards_visited_count 1",
+		"nncell_index_points 2",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	var tail strings.Builder
+	for line := range lineCh {
+		tail.WriteString(line)
+		tail.WriteString("\n")
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("serve exited uncleanly: %v\n%s", err, tail.String())
+	}
+	if !strings.Contains(tail.String(), "shutdown complete") {
+		t.Errorf("no drained-shutdown message:\n%s", tail.String())
+	}
+}

@@ -1,0 +1,215 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/nncell"
+	"repro/internal/pager"
+	"repro/internal/scan"
+	"repro/internal/shard"
+	"repro/internal/stats"
+	"repro/internal/vec"
+)
+
+// RouteBenchResult is one measured (shard count, routing policy, query
+// workload) cell of the routing benchmark: how many shards a NN query
+// actually probes, and what that costs end to end. Hash routing always
+// probes all S shards; grid routing probes the query's tile plus the ring of
+// tiles intersecting the best-so-far ball, so its MeanShardsVisited is the
+// headline number.
+type RouteBenchResult struct {
+	Shards   int    `json:"shards"`
+	Policy   string `json:"policy"`
+	Workload string `json:"workload"`
+	Dim      int    `json:"dim"`
+	N        int    `json:"n"`
+	Queries  int    `json:"queries"`
+	// MeanShardsVisited is averaged over exactly the timed NN queries (the
+	// oracle-verification passes afterwards are excluded from the counters).
+	MeanShardsVisited float64 `json:"mean_shards_visited"`
+	P50Micros         float64 `json:"p50_micros"`
+	P99Micros         float64 `json:"p99_micros"`
+	// Verified counts the queries whose NN answer was checked against the
+	// sequential scan, plus the subset additionally checked for KNearest and
+	// Candidates equivalence; any mismatch fails the whole benchmark.
+	Verified int `json:"verified"`
+}
+
+// RouteBenchReport is the machine-readable routing record emitted by
+// `cmd/experiments -bench-route` (BENCH_route.json).
+//
+// The two workloads bracket the geometry: "uniform" queries land anywhere in
+// the cube — in d=8 the expected NN distance is large, so the best-so-far
+// ball straddles many tiles and grid routing saves a modest factor; "near"
+// queries land close to a data point (a jittered sample of the dataset, the
+// serving-path access pattern the result cache's zipf pool models), the ball
+// is tiny, and the visit count collapses to the query's own tile plus an
+// occasional boundary neighbor.
+type RouteBenchReport struct {
+	N       int                `json:"n"`
+	Dim     int                `json:"dim"`
+	Queries int                `json:"queries"`
+	Go      string             `json:"go"`
+	Results []RouteBenchResult `json:"results"`
+}
+
+// BenchRoute builds the same point set under hash and grid routing at each
+// shard count and measures NN shards-visited and latency per workload,
+// verifying every timed answer (and a KNearest/Candidates subset) against a
+// sequential scan. The point set is identical across all cells, so the only
+// variables are the partition policy and the query distribution.
+func BenchRoute(n, d int, shardCounts []int, queries int) (*RouteBenchReport, error) {
+	if n <= 0 {
+		n = 20_000
+	}
+	if d <= 0 {
+		d = 8
+	}
+	if len(shardCounts) == 0 {
+		shardCounts = []int{16, 64}
+	}
+	if queries <= 0 {
+		queries = 2000
+	}
+	rng := rand.New(rand.NewSource(1998))
+	pts := dataset.Deduplicate(dataset.Uniform(rng, n, d))
+	oracle := scan.New(pts, vec.Euclidean{}, pager.New(pager.Config{}))
+
+	// Both workloads are generated once and shared across every (S, policy)
+	// cell, so visit counts are comparable cell to cell.
+	uniform := make([]vec.Point, queries)
+	for i := range uniform {
+		q := make(vec.Point, d)
+		for j := range q {
+			q[j] = rng.Float64()
+		}
+		uniform[i] = q
+	}
+	near := make([]vec.Point, queries)
+	for i := range near {
+		base := pts[rng.Intn(len(pts))]
+		q := make(vec.Point, d)
+		for j := range q {
+			v := base[j] + rng.NormFloat64()*0.01
+			if v < 0 {
+				v = 0
+			} else if v > 1 {
+				v = 1
+			}
+			q[j] = v
+		}
+		near[i] = q
+	}
+	workloads := []struct {
+		name string
+		qs   []vec.Point
+	}{{"uniform", uniform}, {"near", near}}
+
+	rep := &RouteBenchReport{N: len(pts), Dim: d, Queries: queries, Go: runtime.Version()}
+	for _, S := range shardCounts {
+		for _, policy := range []shard.RouteKind{shard.RouteHash, shard.RouteGrid} {
+			sx, err := shard.Build(pts, vec.UnitCube(d), shard.Options{
+				Shards: S,
+				Route:  policy,
+				Pager:  pager.Config{CachePages: 64},
+				Index:  nncell.Options{Algorithm: nncell.NNDirection},
+			})
+			if err != nil {
+				return nil, fmt.Errorf("bench-route: shards=%d route=%v: %w", S, policy, err)
+			}
+			for _, wl := range workloads {
+				res, err := benchRouteCell(sx, oracle, wl.qs)
+				if err != nil {
+					return nil, fmt.Errorf("bench-route: shards=%d route=%v workload=%s: %w", S, policy, wl.name, err)
+				}
+				res.Shards = sx.NumShards()
+				res.Policy = policy.String()
+				res.Workload = wl.name
+				res.Dim = d
+				res.N = len(pts)
+				rep.Results = append(rep.Results, res)
+			}
+		}
+	}
+	return rep, nil
+}
+
+// benchRouteCell times the NN queries (bracketed by RouteStats snapshots so
+// the visit mean covers exactly the timed queries), then verifies answers
+// against the scan oracle: every NN distance, and for a fixed-stride subset
+// also KNearest(k=10) distances and NN membership in Candidates.
+func benchRouteCell(sx *shard.Sharded, oracle *scan.Scanner, qs []vec.Point) (RouteBenchResult, error) {
+	var res RouteBenchResult
+	res.Queries = len(qs)
+	got := make([]nncell.Neighbor, len(qs))
+	before := sx.RouteStats()
+	var lat stats.Histogram
+	for i, q := range qs {
+		start := time.Now()
+		nb, err := sx.NearestNeighbor(q)
+		lat.Observe(time.Since(start))
+		if err != nil {
+			return res, fmt.Errorf("query %d: %w", i, err)
+		}
+		got[i] = nb
+	}
+	after := sx.RouteStats()
+	if dq := after.Queries - before.Queries; dq > 0 {
+		res.MeanShardsVisited = float64(after.Visited-before.Visited) / float64(dq)
+	}
+	res.P50Micros = float64(lat.Quantile(0.50)) / 1e3
+	res.P99Micros = float64(lat.Quantile(0.99)) / 1e3
+
+	const knnStride = 10 // every 10th query also checks KNearest + Candidates
+	const k = 10
+	for i, q := range qs {
+		_, want := oracle.Nearest(q)
+		if got[i].Dist2 != want {
+			return res, fmt.Errorf("query %d: NN dist² %v, scan says %v", i, got[i].Dist2, want)
+		}
+		res.Verified++
+		if i%knnStride != 0 {
+			continue
+		}
+		nbs, err := sx.KNearest(q, k)
+		if err != nil {
+			return res, fmt.Errorf("query %d: knn: %w", i, err)
+		}
+		wantK := oracle.KNearest(q, k)
+		if len(nbs) != len(wantK) {
+			return res, fmt.Errorf("query %d: knn returned %d results, scan says %d", i, len(nbs), len(wantK))
+		}
+		for j := range nbs {
+			if nbs[j].Dist2 != wantK[j].Dist2 {
+				return res, fmt.Errorf("query %d: knn[%d] dist² %v, scan says %v", i, j, nbs[j].Dist2, wantK[j].Dist2)
+			}
+		}
+		cands := sx.Candidates(q)
+		found := false
+		for _, id := range cands {
+			if p, ok := sx.Point(id); ok && (vec.Euclidean{}).Dist2(q, p) == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return res, fmt.Errorf("query %d: candidate set of %d misses the true NN", i, len(cands))
+		}
+	}
+	return res, nil
+}
+
+// WriteJSON writes the report to path, indented for diff-friendly tracking.
+func (r *RouteBenchReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -230,6 +230,21 @@ func (ix *Index) KNearest(q vec.Point, k int) ([]Neighbor, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("%w (got k=%d)", ErrBadK, k)
 	}
+	out, err := ix.KNearestAppend(make([]Neighbor, 0, k), q, k)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// KNearestAppend is KNearest appending into a caller-owned slice, so callers
+// that loop (the sharded merge, batch drivers) can keep the warm path
+// allocation-free. Results are appended ascending by (Dist2, ID); dst is
+// returned unchanged on error.
+func (ix *Index) KNearestAppend(dst []Neighbor, q vec.Point, k int) ([]Neighbor, error) {
+	if k <= 0 {
+		return dst, fmt.Errorf("%w (got k=%d)", ErrBadK, k)
+	}
 	qc := ix.acquireCtx()
 	defer ix.releaseCtx(qc)
 	ix.mu.RLock()
@@ -237,28 +252,28 @@ func (ix *Index) KNearest(q vec.Point, k int) ([]Neighbor, error) {
 	if k == 1 {
 		nb, err := ix.nearestLocked(qc, q)
 		if err != nil {
-			return nil, err
+			return dst, err
 		}
-		return []Neighbor{nb}, nil
+		return append(dst, nb), nil
 	}
 	if ix.alive == 0 {
-		return nil, ErrEmpty
+		return dst, ErrEmpty
 	}
 	ix.stats.queries.Add(1)
 	slack := k + len(ix.points) - ix.alive // tombstone slack
 	qc.nbrs = ix.dataIdx.KNearestCtx(&qc.dc, q, slack, math.Inf(1), qc.nbrs[:0])
-	out := make([]Neighbor, 0, k)
+	start := len(dst)
 	for _, nb := range qc.nbrs {
 		id := int(nb.Entry.Data)
 		if ix.points[id] == nil {
 			continue
 		}
-		out = append(out, Neighbor{ID: id, Dist2: nb.Dist2})
-		if len(out) == k {
+		dst = append(dst, Neighbor{ID: id, Dist2: nb.Dist2})
+		if len(dst)-start == k {
 			break
 		}
 	}
-	return out, nil
+	return dst, nil
 }
 
 // NearestNeighborBatch answers many NN queries concurrently with the given

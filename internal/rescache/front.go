@@ -11,6 +11,7 @@ import (
 // it.
 type Inner interface {
 	NearestNeighbor(q vec.Point) (nncell.Neighbor, error)
+	NearestNeighborBatch(qs []vec.Point, workers int) ([]nncell.Neighbor, error)
 	Insert(p vec.Point) (int, error)
 	Delete(id int) error
 	InsertBatch(ps []vec.Point) ([]int, error)
@@ -55,19 +56,41 @@ func (f *Front) NearestNeighbor(q vec.Point) (nncell.Neighbor, error) {
 	return nb, nil
 }
 
-// NearestNeighborBatch answers each query through the cached single-query
-// path. (The inner batch entry points exist on both index kinds, but a
-// cached batch that partitioned hits from misses would have to re-associate
-// results positionally anyway; per-query lookup keeps the cache counters
-// and the epoch protocol identical to the scalar path.)
+// NearestNeighborBatch partitions the batch into cache hits and misses,
+// answers the hits from the cache, and forwards the misses in one call to
+// the inner concurrent batch entry point with the caller's parallelism —
+// the same shape the server handler uses. Results are re-associated
+// positionally via the miss index list.
+//
+// The epoch protocol matches the scalar path, captured once for the whole
+// miss sub-batch before the inner call: any mutation that commits after the
+// capture bumps the epoch, so every Put from this batch is rejected as
+// stale — exactly the conservative behaviour a per-query capture would give,
+// since the inner batch runs all misses between one capture point and the
+// fills.
 func (f *Front) NearestNeighborBatch(qs []vec.Point, workers int) ([]nncell.Neighbor, error) {
 	out := make([]nncell.Neighbor, len(qs))
+	var missQs []vec.Point
+	var missAt []int
 	for i, q := range qs {
-		nb, err := f.NearestNeighbor(q)
-		if err != nil {
-			return nil, err
+		if nb, ok := f.cache.Get(q); ok {
+			out[i] = nb
+			continue
 		}
-		out[i] = nb
+		missQs = append(missQs, q)
+		missAt = append(missAt, i)
+	}
+	if len(missQs) == 0 {
+		return out, nil
+	}
+	epoch := f.cache.Epoch()
+	nbs, err := f.Inner.NearestNeighborBatch(missQs, workers)
+	if err != nil {
+		return nil, err
+	}
+	for j, nb := range nbs {
+		out[missAt[j]] = nb
+		f.cache.Put(missQs[j], nb, epoch)
 	}
 	return out, nil
 }

@@ -391,3 +391,240 @@ func TestCacheCoherenceChurn(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// recordingInner wraps an Inner and records which query entry points the
+// Front actually uses, proving the batch path forwards misses to the inner
+// CONCURRENT batch call instead of serializing them through the scalar one.
+type recordingInner struct {
+	Inner
+	mu           sync.Mutex
+	scalarCalls  int
+	batchCalls   int
+	batchLens    []int
+	batchWorkers []int
+}
+
+func (r *recordingInner) NearestNeighbor(q vec.Point) (nncell.Neighbor, error) {
+	r.mu.Lock()
+	r.scalarCalls++
+	r.mu.Unlock()
+	return r.Inner.NearestNeighbor(q)
+}
+
+func (r *recordingInner) NearestNeighborBatch(qs []vec.Point, workers int) ([]nncell.Neighbor, error) {
+	r.mu.Lock()
+	r.batchCalls++
+	r.batchLens = append(r.batchLens, len(qs))
+	r.batchWorkers = append(r.batchWorkers, workers)
+	r.mu.Unlock()
+	return r.Inner.NearestNeighborBatch(qs, workers)
+}
+
+// The batch satellite's equivalence half: a cached batch must answer
+// positionally, byte-identical to the scalar cached path and to the oracle,
+// across repeats (cache hits), fresh queries (misses), and interleaved
+// mutations.
+func TestFrontBatchMatchesScalar(t *testing.T) {
+	const d = 3
+	rng := rand.New(rand.NewSource(91))
+	ix := buildSerial(t, rng, 150, d, nncell.Options{Algorithm: nncell.Sphere})
+	m := newModel()
+	for _, id := range ix.IDs() {
+		p, _ := ix.Point(id)
+		m.live[id] = p
+	}
+	front := NewFront(ix, 1024)
+
+	pool := make([]vec.Point, 24)
+	for i := range pool {
+		pool[i] = randPoint(rng, d)
+	}
+	for round := 0; round < 12; round++ {
+		qs := make([]vec.Point, 0, 16)
+		for i := 0; i < 16; i++ {
+			if i%2 == 0 {
+				qs = append(qs, pool[rng.Intn(len(pool))]) // repeats: cache hits
+			} else {
+				qs = append(qs, randPoint(rng, d)) // fresh: misses
+			}
+		}
+		got, err := front.NearestNeighborBatch(qs, 4)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if len(got) != len(qs) {
+			t.Fatalf("round %d: %d answers for %d queries", round, len(got), len(qs))
+		}
+		for i, q := range qs {
+			want := m.nearest(q)
+			if got[i] != want {
+				t.Fatalf("round %d query %d: batch answered %+v, oracle %+v", round, i, got[i], want)
+			}
+			scalar, err := front.NearestNeighbor(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if scalar != got[i] {
+				t.Fatalf("round %d query %d: scalar %+v != batch %+v", round, i, scalar, got[i])
+			}
+		}
+		// Interleave mutations so later rounds exercise invalidation through
+		// the batch path too.
+		p := randPoint(rng, d)
+		id, err := front.Insert(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.live[id] = p
+		for victim := range m.live {
+			if err := front.Delete(victim); err != nil {
+				t.Fatal(err)
+			}
+			delete(m.live, victim)
+			break
+		}
+	}
+}
+
+// The batch satellite's forwarding half: hits are answered from the cache
+// without touching the index, and ALL misses travel in one call to the
+// inner batch entry point carrying the caller's workers value — not through
+// the scalar path one by one (the seed bug).
+func TestFrontBatchForwardsMissesToInnerBatch(t *testing.T) {
+	const d = 3
+	rng := rand.New(rand.NewSource(92))
+	ix := buildSerial(t, rng, 80, d, nncell.Options{Algorithm: nncell.Sphere})
+	rec := &recordingInner{Inner: ix}
+	front := NewFront(rec, 1024)
+
+	warm := make([]vec.Point, 5)
+	for i := range warm {
+		warm[i] = randPoint(rng, d)
+		if _, err := front.NearestNeighbor(warm[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rec.mu.Lock()
+	rec.scalarCalls, rec.batchCalls = 0, 0
+	rec.mu.Unlock()
+
+	qs := append([]vec.Point{}, warm...) // 5 hits
+	for i := 0; i < 7; i++ {
+		qs = append(qs, randPoint(rng, d)) // 7 misses
+	}
+	if _, err := front.NearestNeighborBatch(qs, 3); err != nil {
+		t.Fatal(err)
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if rec.scalarCalls != 0 {
+		t.Errorf("batch used the scalar inner path %d times, want 0", rec.scalarCalls)
+	}
+	if rec.batchCalls != 1 || len(rec.batchLens) != 1 || rec.batchLens[0] != 7 {
+		t.Errorf("inner batch calls %d with lens %v, want one call with 7 misses", rec.batchCalls, rec.batchLens)
+	}
+	if rec.batchWorkers[0] != 3 {
+		t.Errorf("inner batch workers = %d, want the caller's 3", rec.batchWorkers[0])
+	}
+
+	// An all-hit batch must not touch the index at all.
+	rec.batchCalls = 0
+	rec.mu.Unlock()
+	if _, err := front.NearestNeighborBatch(warm, 2); err != nil {
+		t.Fatal(err)
+	}
+	rec.mu.Lock()
+	if rec.batchCalls != 0 || rec.scalarCalls != 0 {
+		t.Errorf("all-hit batch reached the index (scalar=%d batch=%d)", rec.scalarCalls, rec.batchCalls)
+	}
+}
+
+// The batch satellite's concurrency half: batches racing mutations must
+// stay error-free and coherent (every answer matches the oracle once the
+// writers quiesce); run under -race via make race.
+func TestFrontBatchConcurrentChurn(t *testing.T) {
+	const d = 3
+	rng := rand.New(rand.NewSource(93))
+	ix := buildSerial(t, rng, 200, d, nncell.Options{Algorithm: nncell.Sphere})
+	m := newModel()
+	for _, id := range ix.IDs() {
+		p, _ := ix.Point(id)
+		m.live[id] = p
+	}
+	front := NewFront(ix, 2048)
+
+	pool := make([]vec.Point, 32)
+	for i := range pool {
+		pool[i] = randPoint(rng, d)
+	}
+	rounds := 40
+	if testing.Short() {
+		rounds = 10
+	}
+	stop := make(chan struct{})
+	var readers, writers sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		readers.Add(1)
+		go func(seed int64) {
+			defer readers.Done()
+			rrng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				qs := make([]vec.Point, 8)
+				for i := range qs {
+					qs[i] = pool[rrng.Intn(len(pool))]
+				}
+				if _, err := front.NearestNeighborBatch(qs, 2); err != nil {
+					t.Errorf("concurrent batch: %v", err)
+					return
+				}
+			}
+		}(int64(100 + r))
+	}
+	for w := 0; w < 2; w++ {
+		writers.Add(1)
+		go func(seed int64) {
+			defer writers.Done()
+			wrng := rand.New(rand.NewSource(seed))
+			for i := 0; i < rounds; i++ {
+				m.mu.Lock()
+				p := randPoint(wrng, d)
+				id, err := front.Insert(p)
+				if err == nil {
+					m.live[id] = p
+				}
+				for victim := range m.live {
+					if wrng.Intn(2) == 0 {
+						if err := front.Delete(victim); err == nil {
+							delete(m.live, victim)
+						}
+					}
+					break
+				}
+				m.mu.Unlock()
+			}
+		}(int64(200 + w))
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	// Quiesced equivalence sweep: repeats hit the cache, so this would
+	// surface any fill that slipped past an invalidation during the race.
+	for _, q := range pool {
+		want := m.nearest(q)
+		got, err := front.NearestNeighborBatch([]vec.Point{q}, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != want {
+			t.Fatalf("post-churn query %v: %+v, oracle %+v", q, got[0], want)
+		}
+	}
+}

@@ -253,6 +253,26 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	// Shards-visited histogram when the served index routes queries: the
+	// number this whole routing subsystem exists to shrink. Hash routing
+	// pins it at S; grid routing should hold it to a small constant.
+	if rs, ok := ix.(interface{ RouteStats() shard.RouteStats }); ok {
+		st := rs.RouteStats()
+		fmt.Fprintf(w, "# HELP nncell_route_info Active shard-routing policy (label carries the name).\n")
+		fmt.Fprintf(w, "# TYPE nncell_route_info gauge\n")
+		fmt.Fprintf(w, "nncell_route_info{policy=%q} 1\n", st.Kind)
+		fmt.Fprintf(w, "# HELP nncell_query_shards_visited Shards probed per routed read query.\n")
+		fmt.Fprintf(w, "# TYPE nncell_query_shards_visited histogram\n")
+		cum := uint64(0)
+		for i, n := range st.Hist {
+			cum += n
+			fmt.Fprintf(w, "nncell_query_shards_visited_bucket{le=\"%d\"} %d\n", 1<<i, cum)
+		}
+		fmt.Fprintf(w, "nncell_query_shards_visited_bucket{le=\"+Inf\"} %d\n", st.Queries)
+		fmt.Fprintf(w, "nncell_query_shards_visited_sum %d\n", st.Visited)
+		fmt.Fprintf(w, "nncell_query_shards_visited_count %d\n", st.Queries)
+	}
+
 	// WAL counters when the served index is durable. Both index flavours
 	// expose WALStats; an all-zero Stats means no WAL is attached, in which
 	// case the series are suppressed (absence = durability off).

@@ -5,11 +5,13 @@
 // serializing behind one index-wide write lock, while queries fan out over
 // all shards.
 //
-// Routing is by a deterministic hash of the point's float64 bit patterns
-// (FNV-1a), so a given point always lives in exactly one shard — across
-// processes and across save/load — which keeps the byte-exact duplicate
-// discipline shard-local and makes the partition stable without any shared
-// routing state.
+// Routing is pluggable (see Router): the default policy hashes the point's
+// float64 bit patterns (FNV-1a), so a given point always lives in exactly
+// one shard — across processes and across save/load — which keeps the
+// byte-exact duplicate discipline shard-local and makes the partition stable
+// without any shared routing state. The grid policy instead assigns each
+// point to an axis-aligned tile of the data space, which lets point queries
+// skip shards whose tiles provably cannot hold the answer.
 //
 // Soundness of the fan-out reads: the NN-cells of a shard are the
 // first-order Voronoi cells of that shard's point subset, so each shard's
@@ -20,12 +22,21 @@
 // (union of per-shard candidate sets is a superset of the global candidates
 // that still contains the true NN) and KNearest (the global k smallest
 // distances are a subset of the union of per-shard k smallest).
+//
+// Ring pruning strengthens the argument without weakening it: the visit
+// order follows Router.Plan, whose MinDist2 is a lower bound on the distance
+// from the query to every point the shard can hold, and the loop stops only
+// when the best answer so far is strictly below the next shard's bound —
+// every skipped shard's minimum therefore strictly exceeds an answer already
+// in hand, so skipping it cannot change the minimum (nor a distance tie,
+// which the strict comparison leaves to the visited side).
 package shard
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -38,8 +49,17 @@ import (
 // Options configure a sharded index.
 type Options struct {
 	// Shards is the partition width S. Values < 1 mean 1 (a single shard,
-	// behaviourally identical to a bare nncell.Index).
+	// behaviourally identical to a bare nncell.Index). With Route ==
+	// RouteGrid the effective width is the nearest realizable tile product
+	// not exceeding S (see deriveGrid); NumShards reports it.
 	Shards int
+	// Route selects the placement policy. The zero value is RouteHash, the
+	// seed behaviour.
+	Route RouteKind
+	// Grid optionally pins the grid geometry for RouteGrid; nil derives it
+	// from the build points (highest-variance dimensions, near-equal tile
+	// counts).
+	Grid *GridConfig
 	// Pager configures each shard's private pager (per-shard caches avoid
 	// the single pager lock becoming the cross-shard bottleneck).
 	Pager pager.Config
@@ -64,9 +84,76 @@ func (o *Options) normalize() {
 type Sharded struct {
 	dim    int
 	bounds vec.Rect
+	router Router
 	shards []*nncell.Index
 	pagers []*pager.Pager
+
+	// scratch pools the per-query fan-out state (visit plan, per-shard k-NN
+	// list, merge heap) so warm read paths stay allocation-free.
+	scratch sync.Pool
+
+	// Shards-visited observability: total routed read queries, total shard
+	// probes they issued, and a power-of-two histogram of probes per query
+	// (bucket i counts queries that visited <= 2^i shards).
+	routeQueries atomic.Uint64
+	routeVisited atomic.Uint64
+	routeHist    [8]atomic.Uint64
 }
+
+// queryScratch is one fan-out's reusable state.
+type queryScratch struct {
+	plan []ShardDist
+	nbrs []nncell.Neighbor
+	heap []nncell.Neighbor
+}
+
+func (s *Sharded) acquireScratch() *queryScratch {
+	if qs, ok := s.scratch.Get().(*queryScratch); ok {
+		return qs
+	}
+	return &queryScratch{}
+}
+
+func (s *Sharded) releaseScratch(qs *queryScratch) { s.scratch.Put(qs) }
+
+// recordVisits folds one routed read query's probe count into the
+// shards-visited counters.
+func (s *Sharded) recordVisits(v int) {
+	s.routeQueries.Add(1)
+	s.routeVisited.Add(uint64(v))
+	if v < 1 {
+		v = 1
+	}
+	if idx := bits.Len64(uint64(v - 1)); idx < len(s.routeHist) {
+		s.routeHist[idx].Add(1)
+	}
+}
+
+// RouteStats is the shards-visited observability snapshot: how hard the
+// routing policy is working per read query. Hist bucket i counts queries
+// that probed at most 2^i shards; queries above 2^7 appear only in Queries.
+type RouteStats struct {
+	Kind    RouteKind
+	Queries uint64
+	Visited uint64
+	Hist    [8]uint64
+}
+
+// RouteStats returns the current shards-visited counters.
+func (s *Sharded) RouteStats() RouteStats {
+	out := RouteStats{
+		Kind:    s.router.Kind(),
+		Queries: s.routeQueries.Load(),
+		Visited: s.routeVisited.Load(),
+	}
+	for i := range s.routeHist {
+		out.Hist[i] = s.routeHist[i].Load()
+	}
+	return out
+}
+
+// RouteKind returns the active routing policy.
+func (s *Sharded) RouteKind() RouteKind { return s.router.Kind() }
 
 // route returns the shard owning point p: FNV-1a over the raw float64 bit
 // patterns, mod S. Hashing bits (not values) matches the byte-exact
@@ -89,10 +176,11 @@ func route(p vec.Point, shards int) int {
 	return int(h % uint64(shards))
 }
 
-// Build constructs a sharded index over points: the point set is hash-
-// partitioned, non-empty partitions are bulk-built (each build parallelizes
-// internally, exactly as a single index would), and empty partitions become
-// empty shards ready to accept routed inserts.
+// Build constructs a sharded index over points: the point set is
+// partitioned by the configured routing policy, non-empty partitions are
+// bulk-built (each build parallelizes internally, exactly as a single index
+// would), and empty partitions become empty shards ready to accept routed
+// inserts.
 func Build(points []vec.Point, bounds vec.Rect, opts Options) (*Sharded, error) {
 	opts.normalize()
 	if len(points) == 0 {
@@ -102,19 +190,26 @@ func Build(points []vec.Point, bounds vec.Rect, opts Options) (*Sharded, error) 
 	if bounds.Dim() != d {
 		return nil, fmt.Errorf("shard: bounds dim %d, points dim %d", bounds.Dim(), d)
 	}
-	parts := make([][]vec.Point, opts.Shards)
 	for i, p := range points {
 		if p.Dim() != d {
 			return nil, fmt.Errorf("shard: point %d has dim %d, want %d", i, p.Dim(), d)
 		}
-		s := route(p, opts.Shards)
+	}
+	r, err := newRouter(opts, d, bounds, points)
+	if err != nil {
+		return nil, err
+	}
+	parts := make([][]vec.Point, r.Shards())
+	for _, p := range points {
+		s := r.Route(p)
 		parts[s] = append(parts[s], p)
 	}
 	sh := &Sharded{
 		dim:    d,
 		bounds: bounds.Clone(),
-		shards: make([]*nncell.Index, opts.Shards),
-		pagers: make([]*pager.Pager, opts.Shards),
+		router: r,
+		shards: make([]*nncell.Index, r.Shards()),
+		pagers: make([]*pager.Pager, r.Shards()),
 	}
 	for i, part := range parts {
 		pg := pager.New(opts.Pager)
@@ -129,6 +224,43 @@ func Build(points []vec.Point, bounds vec.Rect, opts Options) (*Sharded, error) 
 		}
 		if err != nil {
 			return nil, fmt.Errorf("shard: building shard %d: %w", i, err)
+		}
+		sh.shards[i] = ix
+		sh.pagers[i] = pg
+	}
+	return sh, nil
+}
+
+// NewEmpty constructs a sharded index with zero points, ready to accept
+// routed inserts — the sharded counterpart of nncell.NewEmpty, so `serve
+// -shards` can bootstrap fresh (e.g. recover purely from a WAL, or start an
+// ingest-only node). Derived grid geometry falls back to the first split
+// dimensions, there being no points to measure variance over; pass
+// Options.Grid to pin it.
+func NewEmpty(d int, bounds vec.Rect, opts Options) (*Sharded, error) {
+	opts.normalize()
+	if d < 1 {
+		return nil, fmt.Errorf("shard: dimensionality %d", d)
+	}
+	if bounds.Dim() != d {
+		return nil, fmt.Errorf("shard: bounds dim %d, want %d", bounds.Dim(), d)
+	}
+	r, err := newRouter(opts, d, bounds, nil)
+	if err != nil {
+		return nil, err
+	}
+	sh := &Sharded{
+		dim:    d,
+		bounds: bounds.Clone(),
+		router: r,
+		shards: make([]*nncell.Index, r.Shards()),
+		pagers: make([]*pager.Pager, r.Shards()),
+	}
+	for i := range sh.shards {
+		pg := pager.New(opts.Pager)
+		ix, err := nncell.NewEmpty(d, bounds, pg, opts.Index)
+		if err != nil {
+			return nil, fmt.Errorf("shard: shard %d: %w", i, err)
 		}
 		sh.shards[i] = ix
 		sh.pagers[i] = pg
@@ -202,7 +334,7 @@ func (s *Sharded) Insert(p vec.Point) (int, error) {
 	if p.Dim() != s.dim {
 		return 0, fmt.Errorf("shard: insert of %d-dim point into %d-dim index", p.Dim(), s.dim)
 	}
-	shard := route(p, len(s.shards))
+	shard := s.router.Route(p)
 	local, err := s.shards[shard].Insert(p)
 	if err != nil {
 		return 0, err
@@ -242,7 +374,7 @@ func (s *Sharded) InsertBatch(ps []vec.Point) ([]int, error) {
 	subs := make([][]vec.Point, len(s.shards))
 	subPos := make([][]int, len(s.shards)) // sub-batch slot -> position in ps
 	for i, p := range ps {
-		sh := route(p, len(s.shards))
+		sh := s.router.Route(p)
 		subs[sh] = append(subs[sh], p)
 		subPos[sh] = append(subPos[sh], i)
 	}
@@ -353,27 +485,42 @@ func (s *Sharded) SetMutationHook(h func(cells []int, added []vec.Point)) {
 	}
 }
 
-// NearestNeighbor fans the query out over all shards and returns the minimum
-// — exact by the union argument in the package comment. The fan-out is a
+// NearestNeighbor fans the query out in the router's plan order and returns
+// the minimum — exact by the union argument in the package comment. The loop
+// stops as soon as the next shard's MinDist2 strictly exceeds the best
+// squared distance found (ring pruning; with hash routing every bound is 0,
+// so all shards are visited, the seed behaviour). The fan-out is a
 // sequential loop: each per-shard query is allocation-free on its pooled
-// QueryCtx, so the warm sharded query stays at 0 allocs/op, and concurrency
-// comes from running many queries at once (server handlers, Batch), not from
-// splitting one query.
+// QueryCtx and the plan lives on a pooled scratch, so the warm sharded query
+// stays at 0 allocs/op, and concurrency comes from running many queries at
+// once (server handlers, Batch), not from splitting one query.
 func (s *Sharded) NearestNeighbor(q vec.Point) (nncell.Neighbor, error) {
+	qs := s.acquireScratch()
+	defer s.releaseScratch(qs)
+	qs.plan = s.router.Plan(qs.plan[:0], q)
 	best := nncell.Neighbor{ID: -1, Dist2: math.Inf(1)}
-	for i, ix := range s.shards {
-		nb, err := ix.NearestNeighbor(q)
+	visited := 0
+	for _, sd := range qs.plan {
+		// Strict comparison: a point at exactly the best distance in a
+		// farther shard could still win the lower-gid tie-break, so ties in
+		// the bound are visited, never pruned.
+		if best.ID >= 0 && sd.MinDist2 > best.Dist2 {
+			break
+		}
+		visited++
+		nb, err := s.shards[sd.Shard].NearestNeighbor(q)
 		if err != nil {
 			if errors.Is(err, nncell.ErrEmpty) {
 				continue
 			}
 			return nncell.Neighbor{}, err
 		}
-		gid := s.globalID(i, nb.ID)
+		gid := s.globalID(sd.Shard, nb.ID)
 		if nb.Dist2 < best.Dist2 || (nb.Dist2 == best.Dist2 && gid < best.ID) {
 			best = nncell.Neighbor{ID: gid, Dist2: nb.Dist2}
 		}
 	}
+	s.recordVisits(visited)
 	if best.ID < 0 {
 		return nncell.Neighbor{}, nncell.ErrEmpty
 	}
@@ -384,72 +531,169 @@ func (s *Sharded) NearestNeighbor(q vec.Point) (nncell.Neighbor, error) {
 // shards).
 func (s *Sharded) Candidates(q vec.Point) []int { return s.CandidatesAppend(nil, q) }
 
-// CandidatesAppend appends the union of the per-shard candidate sets to dst,
-// with local ids rewritten to global ids in place. Shards hold disjoint
-// point sets, so the union needs no cross-shard dedup; with a reused dst the
-// warm path is allocation-free.
+// CandidatesAppend appends the per-shard candidate sets to dst in the
+// router's plan order, with local ids rewritten to global ids in place.
+// Shards hold disjoint point sets, so the union needs no cross-shard dedup;
+// with a reused dst the warm path is allocation-free.
+//
+// Under ring pruning the result is a subset of the all-shard union that
+// still satisfies the candidate contract (it contains the true NN): the
+// bound is the smallest true distance among candidates seen so far, the true
+// NN's distance is never larger than that, and the NN's own shard therefore
+// has MinDist2 <= bound and is never pruned. Hash plans carry no bounds, so
+// the distance tightening is skipped entirely and the union is unchanged
+// from the seed behaviour.
 func (s *Sharded) CandidatesAppend(dst []int, q vec.Point) []int {
-	for i, ix := range s.shards {
+	qs := s.acquireScratch()
+	defer s.releaseScratch(qs)
+	qs.plan = s.router.Plan(qs.plan[:0], q)
+	// Distance computation only pays off when some plan entry has a nonzero
+	// bound to prune against; the plan is sorted, so check the last.
+	prune := qs.plan[len(qs.plan)-1].MinDist2 > 0
+	bound := math.Inf(1)
+	visited := 0
+	metric := vec.Euclidean{}
+	for _, sd := range qs.plan {
+		if prune && sd.MinDist2 > bound {
+			break
+		}
+		visited++
+		ix := s.shards[sd.Shard]
 		start := len(dst)
 		dst = ix.CandidatesAppend(dst, q)
 		for j := start; j < len(dst); j++ {
-			dst[j] = s.globalID(i, dst[j])
+			local := dst[j]
+			if prune {
+				if p, ok := ix.Point(local); ok {
+					if d2 := metric.Dist2(q, p); d2 < bound {
+						bound = d2
+					}
+				}
+			}
+			dst[j] = s.globalID(sd.Shard, local)
 		}
 	}
+	s.recordVisits(visited)
 	return dst
 }
 
 // KNearest merges the per-shard k-NN lists into the global k nearest: each
 // shard returns its k closest (exact within its subset, sorted ascending),
-// and a k-way merge over the S sorted lists yields the global result —
-// the true k nearest are guaranteed to appear among the S·k candidates.
+// and the global k smallest are guaranteed to appear among the visited
+// shards' lists. The result is a fresh slice; KNearestAppend reuses one.
 func (s *Sharded) KNearest(q vec.Point, k int) ([]nncell.Neighbor, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("%w (got k=%d)", nncell.ErrBadK, k)
 	}
-	lists := make([][]nncell.Neighbor, 0, len(s.shards))
+	out, err := s.KNearestAppend(make([]nncell.Neighbor, 0, k), q, k)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// KNearestAppend appends the global k nearest to dst and returns it (the
+// allocation-free entry point for callers holding a reused buffer). Shards
+// are visited in plan order; each sorted per-shard list streams into a
+// bounded max-heap of the current top k, so the merge is O(S·k·log k) with
+// no per-call list/cursor allocations (the seed path materialized all S
+// lists and linear-scanned them per output element). Ring pruning stops the
+// fan-out once the heap holds k results whose worst entry beats the next
+// shard's MinDist2; the bound is exact for the same reason as in
+// NearestNeighbor, applied to the k-th distance.
+func (s *Sharded) KNearestAppend(dst []nncell.Neighbor, q vec.Point, k int) ([]nncell.Neighbor, error) {
+	if k <= 0 {
+		return dst, fmt.Errorf("%w (got k=%d)", nncell.ErrBadK, k)
+	}
+	qs := s.acquireScratch()
+	defer s.releaseScratch(qs)
+	qs.plan = s.router.Plan(qs.plan[:0], q)
+	heap := qs.heap[:0]
 	any := false
-	for i, ix := range s.shards {
-		nbs, err := ix.KNearest(q, k)
+	visited := 0
+	for _, sd := range qs.plan {
+		// Strict: a k-th-distance tie in a farther shard can win on id.
+		if len(heap) == k && sd.MinDist2 > heap[0].Dist2 {
+			break
+		}
+		visited++
+		nbs, err := s.shards[sd.Shard].KNearestAppend(qs.nbrs[:0], q, k)
+		qs.nbrs = nbs[:0]
 		if err != nil {
 			if errors.Is(err, nncell.ErrEmpty) {
 				continue
 			}
-			return nil, err
+			qs.heap = heap[:0]
+			return dst, err
 		}
 		any = true
-		for j := range nbs {
-			nbs[j].ID = s.globalID(i, nbs[j].ID)
+		for _, nb := range nbs {
+			nb.ID = s.globalID(sd.Shard, nb.ID)
+			if len(heap) < k {
+				heap = append(heap, nb)
+				siftUpNbr(heap, len(heap)-1)
+			} else if neighborLess(nb, heap[0]) {
+				heap[0] = nb
+				siftDownNbr(heap, 0, len(heap))
+			} else if nb.Dist2 > heap[0].Dist2 {
+				// The list is non-decreasing in Dist2 (best-first search), so
+				// every later entry also exceeds the heap's worst. Equal
+				// distances keep scanning: ties within a shard arrive in
+				// traversal order, and a later tie can still win on id.
+				break
+			}
 		}
-		lists = append(lists, nbs)
 	}
+	s.recordVisits(visited)
 	if !any {
-		return nil, nncell.ErrEmpty
+		qs.heap = heap[:0]
+		return dst, nncell.ErrEmpty
 	}
-	out := make([]nncell.Neighbor, 0, k)
-	pos := make([]int, len(lists))
-	for len(out) < k {
-		bi := -1
-		for li, l := range lists {
-			if pos[li] >= len(l) {
-				continue
-			}
-			if bi < 0 {
-				bi = li
-				continue
-			}
-			a, b := l[pos[li]], lists[bi][pos[bi]]
-			if a.Dist2 < b.Dist2 || (a.Dist2 == b.Dist2 && a.ID < b.ID) {
-				bi = li
-			}
-		}
-		if bi < 0 {
-			break // fewer than k live points in total
-		}
-		out = append(out, lists[bi][pos[bi]])
-		pos[bi]++
+	// In-place heapsort: repeatedly swap the max to the end, leaving the
+	// heap array ascending by (Dist2, ID).
+	for end := len(heap) - 1; end > 0; end-- {
+		heap[0], heap[end] = heap[end], heap[0]
+		siftDownNbr(heap, 0, end)
 	}
-	return out, nil
+	dst = append(dst, heap...)
+	qs.heap = heap[:0]
+	return dst, nil
+}
+
+// neighborLess is the global result order: ascending squared distance,
+// ties broken toward the lower global id.
+func neighborLess(a, b nncell.Neighbor) bool {
+	return a.Dist2 < b.Dist2 || (a.Dist2 == b.Dist2 && a.ID < b.ID)
+}
+
+// siftUpNbr/siftDownNbr maintain a max-heap under neighborLess (the root is
+// the worst retained result, i.e. the pruning bound).
+func siftUpNbr(h []nncell.Neighbor, i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !neighborLess(h[parent], h[i]) {
+			return
+		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
+	}
+}
+
+func siftDownNbr(h []nncell.Neighbor, root, n int) {
+	for {
+		child := 2*root + 1
+		if child >= n {
+			return
+		}
+		if child+1 < n && neighborLess(h[child], h[child+1]) {
+			child++
+		}
+		if !neighborLess(h[root], h[child]) {
+			return
+		}
+		h[root], h[child] = h[child], h[root]
+		root = child
+	}
 }
 
 // NearestNeighborBatch answers many NN queries concurrently with the given
@@ -589,7 +833,7 @@ func (s *Sharded) CheckInvariants() error {
 			if !ok {
 				return fmt.Errorf("shard %d: listed id %d has no point", i, local)
 			}
-			if want := route(p, len(s.shards)); want != i {
+			if want := s.router.Route(p); want != i {
 				return fmt.Errorf("shard %d holds point %v that routes to shard %d", i, p, want)
 			}
 		}
