@@ -3,9 +3,9 @@
 # §"Construction hot path" and §"Query engine").
 GO ?= go
 
-.PHONY: check vet build test race serve-smoke crash-test stale-test cache-test route-test bench-smoke bench-build bench-query bench-dynamic bench-bulk bench-serve bench-route bench
+.PHONY: check vet build test race serve-smoke crash-test stale-test cache-test route-test cluster-test bench-smoke bench-build bench-query bench-dynamic bench-bulk bench-serve bench-route bench
 
-check: vet build test race serve-smoke crash-test stale-test cache-test route-test bench-smoke
+check: vet build test race serve-smoke crash-test stale-test cache-test route-test cluster-test bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -22,7 +22,7 @@ test:
 # reads, pooled query contexts shared by batch workers, and the admission
 # limiter / graceful-drain machinery).
 race:
-	$(GO) test -race ./internal/nncell/ ./internal/lp/ ./internal/shard/ ./internal/server/ ./internal/wal/ ./internal/iofault/ ./internal/rescache/ ./internal/loadgen/
+	$(GO) test -race ./internal/nncell/ ./internal/lp/ ./internal/shard/ ./internal/server/ ./internal/wal/ ./internal/iofault/ ./internal/rescache/ ./internal/loadgen/ ./internal/replica/
 
 # End-to-end serving lifecycle against the real binary: build an index, start
 # `nncell serve`, answer a query, scrape /metrics, SIGTERM, drained exit.
@@ -59,6 +59,19 @@ cache-test:
 route-test:
 	$(GO) test -race -count 1 -run 'TestGrid|TestDeriveGrid|TestShardedPersist|TestShardedLoad|TestShardedNewEmpty|TestShardedKNearest' ./internal/shard/
 	$(GO) test -count 1 -run 'TestServeGridEmptyBootstrap' ./cmd/nncell/
+
+# The replication gate: the WAL shipping protocol under fault injection
+# (durable-prefix boundaries, truncation at every byte offset of a shipped
+# segment, torn mid-transfer streams, compaction races → re-bootstrap),
+# the follower state machine and read router against fake backends, the
+# lag-aware readiness/metrics surface, and the 3-node kill -9 acceptance
+# harness (real processes + nnrouter: zero lost acked writes, continuous
+# reads, rejoin + convergence, bitwise-identical answers; DESIGN.md §15).
+cluster-test:
+	$(GO) vet ./internal/replica/ ./cmd/nnrouter/
+	$(GO) test -count 1 ./internal/replica/
+	$(GO) test -count 1 -run 'TestSegmentsInfo|TestCursor|TestErrUnavailable|TestReadOnlyGate|TestReplSourceMounted|TestFollower|MaxStaleCells' ./internal/wal/ ./internal/server/ ./internal/nncell/
+	$(GO) test -count 1 -run 'TestClusterKill9' ./cmd/nncell/
 
 # One iteration of the hot-path benchmarks: proves the 0 allocs/op contracts
 # of the warm LP loop and the warm query engine, and that construction and

@@ -1,0 +1,406 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// This file is the replication acceptance harness: a real 3-node cluster
+// (primary + 2 followers) fronted by nnrouter, all separate OS processes,
+// with kill -9 rounds against a follower AND the primary mid-churn. The
+// invariants checked are the ones DESIGN.md §15 promises:
+//
+//   - no acknowledged write is ever lost, no matter which node dies;
+//   - reads keep being served through the router throughout;
+//   - a killed node rejoins and converges (replication lag returns to 0);
+//   - followers answer bitwise-identically to the primary.
+
+// routerBin is built once per test binary, next to nncell's binPath.
+var routerBin string
+
+func buildRouter(t *testing.T) string {
+	t.Helper()
+	if routerBin != "" {
+		return routerBin
+	}
+	out := filepath.Join(filepath.Dir(binPath), "nnrouter")
+	cmd := exec.Command("go", "build", "-o", out, "repro/cmd/nnrouter")
+	if raw, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building nnrouter: %v\n%s", err, raw)
+	}
+	routerBin = out
+	return routerBin
+}
+
+// proc is one cluster process, restartable with identical flags (same
+// listen address, same WAL dir) after a kill -9.
+type proc struct {
+	name string
+	bin  string
+	args []string
+	addr string
+	log  string
+	cmd  *exec.Cmd
+}
+
+func (p *proc) start(t *testing.T) {
+	t.Helper()
+	logf, err := os.OpenFile(p.log, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(p.bin, p.args...)
+	cmd.Stdout = logf
+	cmd.Stderr = logf
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		cmd.Wait()
+		logf.Close()
+	}()
+	p.cmd = cmd
+	t.Cleanup(func() { cmd.Process.Kill() })
+}
+
+// kill9 delivers SIGKILL: no drain, no WAL close, no final snapshot.
+func (p *proc) kill9(t *testing.T) {
+	t.Helper()
+	if err := p.cmd.Process.Kill(); err != nil {
+		t.Fatalf("kill %s: %v", p.name, err)
+	}
+	p.cmd.Process.Wait()
+}
+
+func (p *proc) url() string { return "http://" + p.addr }
+
+// waitReady polls /healthz until it answers 200 (for nncell nodes this
+// means index installed, follower bootstrapped, lag within SLO).
+func (p *proc) waitReady(t *testing.T, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	var last string
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(p.url() + "/healthz")
+		if err == nil {
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+			last = fmt.Sprintf("status %d: %s", resp.StatusCode, body)
+		} else {
+			last = err.Error()
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatalf("%s never became ready: %s (log: %s)", p.name, last, p.log)
+}
+
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+type nnAnswer struct {
+	ID    int       `json:"id"`
+	Dist2 float64   `json:"dist2"`
+	Point []float64 `json:"point"`
+}
+
+func postNN(client *http.Client, base string, q []float64) (nnAnswer, int, error) {
+	raw, _ := json.Marshal(map[string]interface{}{"point": q})
+	resp, err := client.Post(base+"/v1/nn", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return nnAnswer{}, 0, err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	var ans nnAnswer
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(body, &ans); err != nil {
+			return nnAnswer{}, resp.StatusCode, fmt.Errorf("bad nn body: %w (%s)", err, body)
+		}
+	}
+	return ans, resp.StatusCode, nil
+}
+
+// healthPoints reads the live point count off a node's /healthz.
+func healthPoints(t *testing.T, base string) int {
+	t.Helper()
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h struct {
+		Points int `json:"points"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	return h.Points
+}
+
+// waitConverged waits until a follower serves the same point count as the
+// primary and reports zero replication lag on /metrics.
+func waitConverged(t *testing.T, primary, follower *proc, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	var state string
+	for time.Now().Before(deadline) {
+		want := healthPoints(t, primary.url())
+		resp, err := http.Get(follower.url() + "/metrics")
+		if err != nil {
+			state = err.Error()
+			time.Sleep(50 * time.Millisecond)
+			continue
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		lagZero := strings.Contains(string(raw), "nncell_repl_lag_records 0\n")
+		got := -1
+		if resp, err := http.Get(follower.url() + "/healthz"); err == nil {
+			var h struct {
+				Points int `json:"points"`
+			}
+			json.NewDecoder(resp.Body).Decode(&h)
+			resp.Body.Close()
+			got = h.Points
+		}
+		if lagZero && got == want && want == healthPoints(t, primary.url()) {
+			return
+		}
+		state = fmt.Sprintf("points %d vs primary %d, lag0=%v", got, want, lagZero)
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("%s never converged on %s: %s (log: %s)", follower.name, primary.name, state, follower.log)
+}
+
+// TestClusterKill9 is the acceptance test: churn writes through the router
+// while killing -9 first a follower, then the primary; verify zero lost
+// acknowledged writes, continuously served reads, rejoin + convergence, and
+// bitwise-identical answers on every node.
+func TestClusterKill9(t *testing.T) {
+	if testing.Short() {
+		t.Skip("3-node process harness; skipped with -short")
+	}
+	buildRouter(t)
+	dir := t.TempDir()
+	walDir := filepath.Join(dir, "wal")
+
+	pAddr, f1Addr, f2Addr, rAddr := freeAddr(t), freeAddr(t), freeAddr(t), freeAddr(t)
+	primary := &proc{
+		name: "primary", bin: binPath, addr: pAddr, log: filepath.Join(dir, "primary.log"),
+		args: []string{"serve", "-addr", pAddr, "-n", "40", "-d", "3", "-seed", "7",
+			"-wal-dir", walDir, "-fsync", "always"},
+	}
+	follower := func(name, addr string) *proc {
+		return &proc{
+			name: name, bin: binPath, addr: addr, log: filepath.Join(dir, name+".log"),
+			args: []string{"serve", "-addr", addr, "-follow", "http://" + pAddr},
+		}
+	}
+	f1, f2 := follower("follower1", f1Addr), follower("follower2", f2Addr)
+	router := &proc{
+		name: "router", bin: routerBin, addr: rAddr, log: filepath.Join(dir, "router.log"),
+		args: []string{"-listen", rAddr, "-primary", "http://" + pAddr,
+			"-followers", "http://" + f1Addr + ",http://" + f2Addr,
+			"-health-interval", "100ms", "-hedge-after", "100ms"},
+	}
+
+	primary.start(t)
+	primary.waitReady(t, 20*time.Second)
+	f1.start(t)
+	f2.start(t)
+	f1.waitReady(t, 20*time.Second)
+	f2.waitReady(t, 20*time.Second)
+	router.start(t)
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	rng := rand.New(rand.NewSource(42))
+	routerURL := "http://" + rAddr
+
+	// acked maps every acknowledged insert id to its exact coordinates;
+	// deleted records acknowledged deletes. These are the writes that must
+	// survive every crash.
+	acked := map[int][]float64{}
+	var pendingRetry [][]float64
+
+	insertOne := func(pt []float64) bool {
+		raw, _ := json.Marshal(map[string]interface{}{"point": pt})
+		resp, err := client.Post(routerURL+"/v1/insert", "application/json", bytes.NewReader(raw))
+		if err != nil {
+			return false
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			var ins struct {
+				ID int `json:"id"`
+			}
+			if err := json.Unmarshal(body, &ins); err != nil {
+				t.Fatalf("insert ack body: %v (%s)", err, body)
+			}
+			acked[ins.ID] = pt
+			return true
+		case resp.StatusCode == http.StatusBadRequest && bytes.Contains(body, []byte("duplicate")):
+			// A previous attempt was applied and durably logged but its ack
+			// was lost to the crash. Find its id to track it.
+			ans, code, err := postNN(client, routerURL, pt)
+			if err == nil && code == http.StatusOK && ans.Dist2 == 0 {
+				acked[ans.ID] = pt
+				return true
+			}
+			return false
+		default:
+			return false
+		}
+	}
+
+	randPoint := func() []float64 {
+		return []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+	}
+
+	// churn issues n inserts (retrying earlier failures first) and k reads,
+	// tolerating write failures (they stay un-acked and retry later) but
+	// counting read outcomes.
+	readFails := 0
+	readTotal := 0
+	churn := func(n int) {
+		for i := 0; i < n; i++ {
+			pt := randPoint()
+			if len(pendingRetry) > 0 {
+				pt, pendingRetry = pendingRetry[0], pendingRetry[1:]
+			}
+			if !insertOne(pt) {
+				pendingRetry = append(pendingRetry, pt)
+				time.Sleep(50 * time.Millisecond)
+			}
+			readTotal++
+			if _, code, err := postNN(client, routerURL, randPoint()); err != nil || code != http.StatusOK {
+				readFails++
+			}
+		}
+	}
+
+	// Seed load, then let the followers catch up once before the violence.
+	churn(40)
+	waitConverged(t, primary, f1, 30*time.Second)
+	waitConverged(t, primary, f2, 30*time.Second)
+
+	// Round 1: kill -9 a follower mid-churn. Reads keep flowing (router
+	// fails over to the live follower), writes are unaffected.
+	f1.kill9(t)
+	churn(25)
+	f1.start(t)
+	f1.waitReady(t, 30*time.Second)
+	waitConverged(t, primary, f1, 30*time.Second)
+
+	// Round 2: kill -9 the primary mid-churn. Acked writes are already
+	// fsynced in its WAL; reads continue off the followers; writes fail
+	// until it returns (and are retried).
+	primary.kill9(t)
+	churn(15)
+	primary.start(t)
+	primary.waitReady(t, 30*time.Second)
+	// The restarted primary has a fresh boot id: followers re-bootstrap
+	// from its recovered snapshot, then drain the retry backlog.
+	churn(25)
+	waitConverged(t, primary, f1, 45*time.Second)
+	waitConverged(t, primary, f2, 45*time.Second)
+
+	if len(pendingRetry) > 0 {
+		t.Fatalf("%d writes never got acknowledged after the primary returned", len(pendingRetry))
+	}
+	if readTotal == 0 {
+		t.Fatal("no reads issued")
+	}
+	// Reads must keep flowing through every crash; a handful of in-flight
+	// requests severed at the kill instant are tolerated.
+	if readFails > 3 {
+		t.Fatalf("%d of %d reads failed during churn", readFails, readTotal)
+	}
+
+	// Zero lost acknowledged writes: every acked point answers exactly on
+	// the primary and on both followers.
+	nodes := []*proc{primary, f1, f2}
+	checked := 0
+	for id, pt := range acked {
+		for _, n := range nodes {
+			ans, code, err := postNN(client, n.url(), pt)
+			if err != nil || code != http.StatusOK {
+				t.Fatalf("%s: nn for acked point %v: code %d err %v", n.name, pt, code, err)
+			}
+			if ans.ID != id || ans.Dist2 != 0 {
+				t.Fatalf("%s lost acked write id %d %v: got id %d dist2 %v",
+					n.name, id, pt, ans.ID, ans.Dist2)
+			}
+		}
+		checked++
+	}
+	if checked < 80 {
+		t.Fatalf("only %d acked writes to verify; churn too small", checked)
+	}
+
+	// Bitwise equality on sampled queries: primary and followers must agree
+	// on the id, the squared distance, and every coordinate, to the bit.
+	for trial := 0; trial < 25; trial++ {
+		q := randPoint()
+		want, code, err := postNN(client, primary.url(), q)
+		if err != nil || code != http.StatusOK {
+			t.Fatalf("primary nn: code %d err %v", code, err)
+		}
+		for _, f := range []*proc{f1, f2} {
+			got, code, err := postNN(client, f.url(), q)
+			if err != nil || code != http.StatusOK {
+				t.Fatalf("%s nn: code %d err %v", f.name, code, err)
+			}
+			if got.ID != want.ID ||
+				math.Float64bits(got.Dist2) != math.Float64bits(want.Dist2) {
+				t.Fatalf("trial %d: %s answered id %d dist2 %x, primary id %d dist2 %x",
+					trial, f.name, got.ID, math.Float64bits(got.Dist2),
+					want.ID, math.Float64bits(want.Dist2))
+			}
+			for j := range want.Point {
+				if math.Float64bits(got.Point[j]) != math.Float64bits(want.Point[j]) {
+					t.Fatalf("trial %d: %s coord %d differs bitwise", trial, f.name, j)
+				}
+			}
+		}
+	}
+
+	// The router sheds reads to the primary only under follower loss: its
+	// metrics surface must show reads and at least one failover from the
+	// kill rounds.
+	resp, err := http.Get(routerURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{"nnrouter_reads_total", "nnrouter_writes_total"} {
+		if !strings.Contains(string(raw), want) {
+			t.Fatalf("router metrics missing %s:\n%s", want, raw)
+		}
+	}
+}

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
@@ -23,6 +24,8 @@ import (
 	"math/rand"
 	"os"
 	"os/signal"
+	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -30,6 +33,7 @@ import (
 	"repro/internal/iofault"
 	"repro/internal/nncell"
 	"repro/internal/pager"
+	"repro/internal/replica"
 	"repro/internal/rescache"
 	"repro/internal/scan"
 	"repro/internal/server"
@@ -212,13 +216,25 @@ func serveMain(args []string) {
 		maxK        = fs.Int("max-k", 256, "largest accepted k")
 		snapshot    = fs.String("snapshot", "", "periodically save the serving index to this file (with -wal-dir each snapshot also compacts the log)")
 		snapEvery   = fs.Duration("snapshot-every", 5*time.Minute, "snapshot interval")
-		walDir      = fs.String("wal-dir", "", "write-ahead-log directory: replay it on startup, then log every insert/delete")
+		walDir      = fs.String("wal-dir", "", "write-ahead-log directory: replay it on startup, then log every insert/delete (also enables /v1/repl/ so followers can replicate)")
 		fsyncMode   = fs.String("fsync", "interval", "wal fsync policy: always|interval|never")
 		fsyncEvery  = fs.Duration("fsync-interval", 100*time.Millisecond, "fsync cadence for -fsync interval")
+		follow      = fs.String("follow", "", "run as a read-only follower of this primary base URL: bootstrap from its snapshot, tail its WAL")
+		lagSLORecs  = fs.Uint64("lag-slo-records", 0, "follower readiness fails when apply lag exceeds this many records (0 = no record SLO)")
+		lagSLO      = fs.Duration("lag-slo", 0, "follower readiness fails when lag persists longer than this (0 = no time SLO)")
 	)
 	fs.Parse(args)
 	explicit := map[string]bool{}
 	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+
+	if *follow != "" {
+		serveFollower(*follow, *addr, *pagerCache, *lagSLORecs, *lagSLO, *timeout, *grace,
+			*maxBody, *maxInflight, *maxBatch, *maxK, explicit)
+		return
+	}
+	if explicit["lag-slo-records"] || explicit["lag-slo"] {
+		fatalf("-lag-slo-records and -lag-slo apply to followers (-follow)")
+	}
 
 	route, err := shard.ParseRouteKind(*routeName)
 	if err != nil {
@@ -441,6 +457,23 @@ func serveMain(args []string) {
 			WALDir:         *walDir,
 			Stats:          rs,
 		})
+
+		// A durable server is a capable primary: mount the shipping protocol
+		// so followers can bootstrap from a consistent snapshot and tail the
+		// logs (see internal/replica; followers run with -follow).
+		var prim replica.Primary
+		switch x := ix.(type) {
+		case *shard.Sharded:
+			prim = replica.ShardedPrimary(x)
+		case *nncell.Index:
+			prim = replica.SinglePrimary(x)
+		}
+		src, err := replica.NewSource(prim, nil)
+		if err != nil {
+			fatalf("replication source: %v", err)
+		}
+		srv.SetReplSource(src)
+		fmt.Printf("nncell: replication source mounted at /v1/repl/ (boot %s)\n", src.BootID())
 	}
 
 	if resCache != nil {
@@ -463,6 +496,94 @@ func serveMain(args []string) {
 			err = fmt.Errorf("closing wal: %w", cerr)
 		}
 	}
+	if err != nil {
+		fatalf("serve: %v", err)
+	}
+	fmt.Println("nncell: shutdown complete (in-flight requests drained)")
+}
+
+// serveFollower implements `nncell serve -follow <primary-url>`: bootstrap
+// a read-only replica from the primary's snapshot, tail its shipped WAL
+// segments, and serve queries with lag-aware readiness — /healthz fails
+// while bootstrapping or over the lag SLO, which is how the read router
+// decides to shed this node. The snapshot stream's magic picks the loader,
+// so a follower tracks single-index and sharded primaries alike.
+func serveFollower(primary, addr string, pagerCache int, lagRecs uint64, lagSLO time.Duration,
+	timeout, grace time.Duration, maxBody int64, maxInflight, maxBatch, maxK int, explicit map[string]bool) {
+	for _, name := range []string{"load", "wal-dir", "snapshot", "shards", "cache", "n", "d", "data", "alg", "decompose", "route"} {
+		if explicit[name] {
+			fatalf("-%s does not apply with -follow: a follower's index, shape and durability come from the primary", name)
+		}
+	}
+	primary = strings.TrimRight(primary, "/")
+
+	// The freshly loaded index travels from Load to OnReplica through this
+	// box; both run sequentially on the follower's goroutine.
+	var pending atomic.Value
+	var srv *server.Server
+	fol, err := replica.NewFollower(replica.Config{
+		Primary: primary,
+		Load: func(r io.Reader) (replica.Replica, error) {
+			br := bufio.NewReader(r)
+			magic, err := br.Peek(len(shard.Magic))
+			if err != nil {
+				return nil, fmt.Errorf("reading snapshot magic: %w", err)
+			}
+			if shard.IsSnapshotMagic(string(magic)) {
+				sx, err := shard.Load(br, shard.Options{Pager: pager.Config{CachePages: pagerCache}})
+				if err != nil {
+					return nil, err
+				}
+				pending.Store(server.Index(sx))
+				return replica.ShardedReplica(sx), nil
+			}
+			six, err := nncell.Load(br, pager.New(pager.Config{CachePages: pagerCache}))
+			if err != nil {
+				return nil, err
+			}
+			pending.Store(server.Index(six))
+			return replica.SingleReplica(six), nil
+		},
+		OnReplica: func(replica.Replica) {
+			if ix, ok := pending.Load().(server.Index); ok {
+				srv.SetIndex(ix)
+				fmt.Printf("nncell: follower bootstrapped: %d points (d=%d) from %s\n",
+					ix.Len(), ix.Dim(), primary)
+			}
+		},
+		Logf: func(format string, args ...interface{}) {
+			fmt.Fprintf(os.Stderr, "nncell: follower: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fatalf("follower: %v", err)
+	}
+
+	srv = server.New(nil, server.Config{
+		ReadOnly:       true,
+		Follower:       fol,
+		LagSLORecords:  lagRecs,
+		LagSLOSeconds:  lagSLO.Seconds(),
+		RequestTimeout: timeout,
+		ShutdownGrace:  grace,
+		MaxBodyBytes:   maxBody,
+		MaxInFlight:    maxInflight,
+		MaxBatch:       maxBatch,
+		MaxK:           maxK,
+	})
+	srv.SetNotReady("follower bootstrapping from " + primary)
+	if err := srv.Listen(addr); err != nil {
+		fatalf("%v", err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ctx) }()
+	fmt.Printf("nncell: listening on http://%s (read-only follower of %s)\n", srv.Addr(), primary)
+	fol.Start()
+
+	err = <-serveDone
+	fol.Stop()
 	if err != nil {
 		fatalf("serve: %v", err)
 	}

@@ -1,0 +1,88 @@
+// Command nnrouter is the stateless read router of a replicated NN-cell
+// cluster: reads round-robin over healthy followers with hedging and
+// failover, writes forward to the primary, and the primary serves reads
+// only when every follower is down or over its lag SLO (the follower
+// /healthz probes are lag-aware). Being stateless, any number of routers
+// can front the same cluster.
+//
+// Usage:
+//
+//	nnrouter -listen :8090 -primary http://host1:8080 \
+//	    -followers http://host2:8080,http://host3:8080
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/replica"
+)
+
+func main() {
+	listen := flag.String("listen", ":8090", "address to serve on")
+	primary := flag.String("primary", "", "primary base URL (required)")
+	followers := flag.String("followers", "", "comma-separated follower base URLs (required)")
+	hedgeAfter := flag.Duration("hedge-after", 150*time.Millisecond, "hedge a read to a second follower after this long")
+	timeout := flag.Duration("timeout", 3*time.Second, "per-attempt proxy timeout")
+	healthEvery := flag.Duration("health-interval", 250*time.Millisecond, "follower health poll cadence")
+	flag.Parse()
+
+	if *primary == "" || *followers == "" {
+		fmt.Fprintln(os.Stderr, "nnrouter: -primary and -followers are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	var pool []string
+	for _, f := range strings.Split(*followers, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			pool = append(pool, strings.TrimRight(f, "/"))
+		}
+	}
+	rt, err := replica.NewRouter(replica.RouterConfig{
+		Primary:        strings.TrimRight(*primary, "/"),
+		Followers:      pool,
+		HedgeAfter:     *hedgeAfter,
+		RequestTimeout: *timeout,
+		HealthInterval: *healthEvery,
+		Logf:           func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) },
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nnrouter: %v\n", err)
+		os.Exit(2)
+	}
+	rt.Start()
+	defer rt.Stop()
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nnrouter: listen: %v\n", err)
+		os.Exit(1)
+	}
+	// The harness parses this banner for the bound address; keep the shape
+	// aligned with nncell's "serving on ".
+	fmt.Printf("nnrouter serving on %s (primary %s, %d followers)\n", ln.Addr(), *primary, len(pool))
+
+	hs := &http.Server{Handler: rt, ReadHeaderTimeout: 10 * time.Second}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Printf("nnrouter: received %v, shutting down\n", sig)
+		hs.Close()
+	case err := <-errc:
+		if err != nil && err != http.ErrServerClosed {
+			fmt.Fprintf(os.Stderr, "nnrouter: serve: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

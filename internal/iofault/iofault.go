@@ -45,6 +45,9 @@ type FS interface {
 	// directory's metadata has been flushed; every atomic-rename publish and
 	// every segment create/remove must be followed by a SyncDir.
 	SyncDir(name string) error
+	// Size returns the file's current length in bytes (the WAL shipping
+	// manifest sizes sealed segments with it).
+	Size(name string) (int64, error)
 }
 
 // OS is the production filesystem.
@@ -78,6 +81,15 @@ func (OS) ReadDir(name string) ([]string, error) {
 	}
 	sort.Strings(names)
 	return names, nil
+}
+
+// Size returns the file's length via os.Stat.
+func (OS) Size(name string) (int64, error) {
+	st, err := os.Stat(name)
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
 }
 
 // SyncDir opens the directory and fsyncs it.

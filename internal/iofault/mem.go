@@ -236,6 +236,17 @@ func (m *Mem) ReadDir(name string) ([]string, error) {
 	return out, nil
 }
 
+// Size returns the file's full written length.
+func (m *Mem) Size(name string) (int64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[memClean(name)]
+	if !ok {
+		return 0, &os.PathError{Op: "stat", Path: name, Err: os.ErrNotExist}
+	}
+	return int64(len(f.data)), nil
+}
+
 // SyncDir records a directory fsync (the behavioral assertion crash tests
 // check: every publish-by-rename and segment create/remove must be followed
 // by one).

@@ -1,0 +1,102 @@
+package nncell
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// Sustained write load against a small MaxStaleCells cap with no repair
+// drain at all (RepairWorkers < 0, no RepairWait): without backpressure the
+// stale backlog would grow monotonically with every insert; with the cap,
+// every mutation that would breach it degrades to the eager path, so the
+// backlog — and the high-water gauge — stay bounded while queries remain
+// exact throughout.
+func TestMaxStaleCellsBackpressure(t *testing.T) {
+	const cap = 12
+	pts := uniquePoints(t, dataset.NameUniform, 910, 260, 3)
+	ix := mustBuild(t, pts[:60], Options{
+		Algorithm: Correct, AutoThreshold: -1,
+		LazyRepair: true, RepairWorkers: -1,
+		MaxStaleCells: cap,
+	})
+
+	// Mixed single and batched inserts; nothing ever drains the queue.
+	next := 60
+	for next < len(pts) {
+		if next%3 == 0 {
+			hi := next + 10
+			if hi > len(pts) {
+				hi = len(pts)
+			}
+			if _, err := ix.InsertBatch(pts[next:hi]); err != nil {
+				t.Fatal(err)
+			}
+			next = hi
+		} else {
+			if _, err := ix.Insert(pts[next]); err != nil {
+				t.Fatal(err)
+			}
+			next++
+		}
+		if st := ix.Stats(); st.StaleCells > cap {
+			t.Fatalf("stale backlog %d exceeds MaxStaleCells %d", st.StaleCells, cap)
+		}
+	}
+
+	st := ix.Stats()
+	if st.StaleCellsHighWater == 0 {
+		t.Fatal("no mutation ever took the lazy path; the cap test is vacuous")
+	}
+	if st.StaleCellsHighWater > cap {
+		t.Fatalf("high water %d exceeds MaxStaleCells %d", st.StaleCellsHighWater, cap)
+	}
+	// Degradation must actually have engaged: an unbounded lazy run of this
+	// size marks far more than cap cells, so some mutations must have gone
+	// eager — visible as committed recomputations (Updates counts only
+	// eager/commitStaged swaps, never lazy marks).
+	if st.Updates == 0 {
+		t.Fatal("cap never forced an eager recompute under sustained load")
+	}
+	if err := ix.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	assertExactQueries(t, ix, pts, identMap(len(pts)), 911, 40)
+
+	// Draining restores lazy headroom: the backlog flushes to zero, the
+	// high-water mark stays put, and the next insert may defer again.
+	ix.RepairWait()
+	if got := ix.Stats().StaleCells; got != 0 {
+		t.Fatalf("StaleCells = %d after RepairWait", got)
+	}
+	if got := ix.Stats().StaleCellsHighWater; got != st.StaleCellsHighWater {
+		t.Fatalf("high water moved on drain: %d -> %d", st.StaleCellsHighWater, got)
+	}
+	if err := ix.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	assertExactQueries(t, ix, pts, identMap(len(pts)), 912, 40)
+}
+
+// MaxStaleCells = 0 (the default) must not cap anything: the lazy path
+// stays lazy no matter how large the backlog grows.
+func TestMaxStaleCellsUnboundedByDefault(t *testing.T) {
+	pts := uniquePoints(t, dataset.NameUniform, 913, 120, 2)
+	ix := mustBuild(t, pts[:40], Options{
+		Algorithm: Correct, AutoThreshold: -1,
+		LazyRepair: true, RepairWorkers: -1,
+	})
+	updatesBefore := ix.Stats().Updates
+	for _, p := range pts[40:] {
+		if _, err := ix.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := ix.Stats()
+	if st.Updates != updatesBefore {
+		t.Fatalf("uncapped lazy inserts ran %d eager recomputes", st.Updates-updatesBefore)
+	}
+	if st.StaleCells == 0 || st.StaleCellsHighWater < st.StaleCells {
+		t.Fatalf("stale accounting off: now=%d highwater=%d", st.StaleCells, st.StaleCellsHighWater)
+	}
+}

@@ -102,8 +102,9 @@ func (ix *Index) insertBatchLocked(ps []vec.Point, logIt bool) ([]int, error) {
 		}
 	}
 
+	lazy := ix.lazyForLocked(len(affected))
 	var stagedFrags [][]vec.Rect
-	if !ix.opts.LazyRepair {
+	if !lazy {
 		stagedFrags, err = ix.recomputeCells(cc, affected)
 		if err != nil {
 			rollback()
@@ -129,7 +130,7 @@ func (ix *Index) insertBatchLocked(ps []vec.Point, logIt bool) ([]int, error) {
 	for k, id := range ids {
 		ix.storeCell(id, newFrags[k])
 	}
-	if ix.opts.LazyRepair {
+	if lazy {
 		ix.markStaleLocked(affected)
 	} else {
 		ix.commitStaged(affected, stagedFrags)

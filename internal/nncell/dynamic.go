@@ -93,8 +93,9 @@ func (ix *Index) insertLocked(p vec.Point, logIt bool) (int, error) {
 	// marked stale for the repair pool at commit (see repair.go).
 	outer := outerMBR(frags, ix.dim)
 	affected := ix.intersectingCells(outer, id)
+	lazy := ix.lazyForLocked(len(affected))
 	var staged [][]vec.Rect
-	if !ix.opts.LazyRepair {
+	if !lazy {
 		staged, err = ix.recomputeCells(cc, affected)
 		if err != nil {
 			rollback()
@@ -116,7 +117,7 @@ func (ix *Index) insertLocked(p vec.Point, logIt bool) (int, error) {
 	// Commit: every LP has succeeded and the record is logged, so the
 	// remaining work is pure tree/bookkeeping mutation that cannot fail.
 	ix.storeCell(id, frags)
-	if ix.opts.LazyRepair {
+	if lazy {
 		ix.markStaleLocked(affected)
 	} else {
 		ix.commitStaged(affected, staged)

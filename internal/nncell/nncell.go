@@ -135,6 +135,14 @@ type Options struct {
 	// goroutines at all — stale cells are repaired only when RepairWait
 	// drains the queue on the caller (deterministic mode for tests).
 	RepairWorkers int
+	// MaxStaleCells bounds the stale backlog LazyRepair may accumulate
+	// (0 = unbounded). A mutation that would push the stale set past the
+	// cap degrades to the eager path for that mutation: the acknowledgment
+	// is delayed by the synchronous recomputes instead of letting the
+	// backlog — and with it the query-time extra-candidate cost — grow
+	// without bound under sustained write load. Backpressure, not an
+	// error: the mutation still succeeds either way.
+	MaxStaleCells int
 }
 
 // DefaultAutoThreshold is the live point count at which Options.AutoThreshold
@@ -187,7 +195,10 @@ type Stats struct {
 	PruneVisited uint64
 	// StaleCells is the number of cells currently marked stale by the lazy
 	// repair path (serving their previous, still-superset MBRs).
-	StaleCells uint64
+	// StaleCellsHighWater is the largest value StaleCells has reached this
+	// process lifetime — the gauge that shows how close the backlog came
+	// to Options.MaxStaleCells.
+	StaleCells, StaleCellsHighWater uint64
 	// Repairs counts stale cells re-approximated and committed by the
 	// repair pool; RepairFailures counts repairs abandoned because the
 	// cell's LPs failed (the cell keeps its old superset MBR).
@@ -231,6 +242,7 @@ type Index struct {
 		updates                              atomic.Uint64
 		pruneVisited                         atomic.Uint64
 		staleCells                           atomic.Int64
+		staleHighWater                       atomic.Uint64
 		repairs, repairFailures              atomic.Uint64
 	}
 
@@ -538,18 +550,19 @@ func (ix *Index) Stats() Stats {
 		stale = 0
 	}
 	return Stats{
-		LPSolves:         ix.stats.lpSolves.Load(),
-		LPPivots:         ix.stats.lpPivots.Load(),
-		ConstraintPoints: ix.stats.constraintPoints.Load(),
-		Fragments:        ix.stats.fragments.Load(),
-		Queries:          ix.stats.queries.Load(),
-		Candidates:       ix.stats.candidates.Load(),
-		Fallbacks:        ix.stats.fallbacks.Load(),
-		Updates:          ix.stats.updates.Load(),
-		PruneVisited:     ix.stats.pruneVisited.Load(),
-		StaleCells:       uint64(stale),
-		Repairs:          ix.stats.repairs.Load(),
-		RepairFailures:   ix.stats.repairFailures.Load(),
+		LPSolves:            ix.stats.lpSolves.Load(),
+		LPPivots:            ix.stats.lpPivots.Load(),
+		ConstraintPoints:    ix.stats.constraintPoints.Load(),
+		Fragments:           ix.stats.fragments.Load(),
+		Queries:             ix.stats.queries.Load(),
+		Candidates:          ix.stats.candidates.Load(),
+		Fallbacks:           ix.stats.fallbacks.Load(),
+		Updates:             ix.stats.updates.Load(),
+		PruneVisited:        ix.stats.pruneVisited.Load(),
+		StaleCells:          uint64(stale),
+		StaleCellsHighWater: ix.stats.staleHighWater.Load(),
+		Repairs:             ix.stats.repairs.Load(),
+		RepairFailures:      ix.stats.repairFailures.Load(),
 	}
 }
 

@@ -65,6 +65,23 @@ func (rq *repairQueue) popLocked() int {
 	return id
 }
 
+// lazyForLocked decides whether a mutation touching n affected cells may
+// defer their recomputation. With MaxStaleCells set, a mutation that would
+// push the stale set past the cap runs eagerly instead — backpressure on
+// the writer rather than unbounded backlog growth. The len(stale)+n test
+// overcounts when some affected cells are already stale; that errs toward
+// degrading early, which is the safe direction for a cap. Caller holds
+// ix.mu (write side).
+func (ix *Index) lazyForLocked(n int) bool {
+	if !ix.opts.LazyRepair {
+		return false
+	}
+	if m := ix.opts.MaxStaleCells; m > 0 && len(ix.stale)+n > m {
+		return false
+	}
+	return true
+}
+
 // markStaleLocked stamps every id with a fresh epoch, enqueues the ones not
 // already pending, and tops the background pool up to RepairWorkers. Caller
 // holds ix.mu (write side); ids must be live cells.
@@ -87,6 +104,11 @@ func (ix *Index) markStaleLocked(ids []int) {
 		if rq.pushLocked(id) {
 			enqueued++
 		}
+	}
+	// ix.mu (write side) serializes markers, so load-then-store cannot lose
+	// a concurrent increase; only clearStaleLocked ever shrinks the set.
+	if hw := uint64(len(ix.stale)); hw > ix.stats.staleHighWater.Load() {
+		ix.stats.staleHighWater.Store(hw)
 	}
 	if ix.opts.RepairWorkers > 0 {
 		for enqueued > 0 && rq.active < ix.opts.RepairWorkers {

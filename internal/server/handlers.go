@@ -410,29 +410,105 @@ func recoveryJSON(info *RecoveryInfo) *recoveryResponse {
 	}
 }
 
+// replResponse is the replication section of /healthz: which role this
+// node plays and, for a follower, how far behind it is.
+type replResponse struct {
+	Role         string  `json:"role"`
+	BootID       string  `json:"boot_id,omitempty"`
+	Bootstrapped bool    `json:"bootstrapped,omitempty"`
+	Bootstraps   uint64  `json:"bootstraps,omitempty"`
+	LagRecords   uint64  `json:"lag_records,omitempty"`
+	LagSeconds   float64 `json:"lag_seconds,omitempty"`
+	LastError    string  `json:"last_error,omitempty"`
+}
+
+// handleRepl forwards to the installed replication source; 404 on servers
+// that are not primaries.
+func (s *Server) handleRepl(w http.ResponseWriter, r *http.Request) {
+	src := s.replSource()
+	if src == nil {
+		writeError(w, http.StatusNotFound, "replication is not enabled on this server")
+		return
+	}
+	src.ServeHTTP(w, r)
+}
+
+// replJSON builds the replication section, or nil when this server is
+// neither a primary (ReplSource) nor a follower (Follower).
+func (s *Server) replJSON() *replResponse {
+	if src := s.replSource(); src != nil {
+		return &replResponse{Role: "primary", BootID: src.BootID()}
+	}
+	f := s.cfg.Follower
+	if f == nil {
+		return nil
+	}
+	st := f.Stats()
+	return &replResponse{
+		Role:         "follower",
+		Bootstrapped: st.Bootstrapped,
+		Bootstraps:   st.Bootstraps,
+		LagRecords:   st.LagRecords,
+		LagSeconds:   st.LagSeconds,
+		LastError:    st.LastError,
+	}
+}
+
+// replUnready reports why follower replication blocks readiness ("" when it
+// does not): not bootstrapped yet, or lag past the configured SLO. This is
+// the signal the read router's health probes consume — a follower over SLO
+// drops out of the read pool exactly as long as this returns non-empty.
+func (s *Server) replUnready() string {
+	f := s.cfg.Follower
+	if f == nil {
+		return ""
+	}
+	st := f.Stats()
+	switch {
+	case !st.Bootstrapped:
+		return "follower bootstrapping"
+	case s.cfg.LagSLORecords > 0 && st.LagRecords > s.cfg.LagSLORecords:
+		return fmt.Sprintf("replication lag %d records exceeds SLO %d", st.LagRecords, s.cfg.LagSLORecords)
+	case s.cfg.LagSLOSeconds > 0 && st.LagSeconds > s.cfg.LagSLOSeconds:
+		return fmt.Sprintf("replication lag %.1fs exceeds SLO %.1fs", st.LagSeconds, s.cfg.LagSLOSeconds)
+	}
+	return ""
+}
+
 // handleHealthz is the READINESS probe: 503 with the loading reason while
-// the index is absent (snapshot loading, WAL replaying), 200 with the
-// index summary — and the recovery report, when there was one — once
-// serving. Liveness is the separate /healthz/live.
+// the index is absent (snapshot loading, WAL replaying, follower
+// bootstrapping), 503 while a follower lags past its SLO, 200 with the
+// index summary — and the recovery and replication reports, when there are
+// any — once serving. Liveness is the separate /healthz/live.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	ix := s.index()
 	if ix == nil {
 		reason, _ := s.reason.Load().(string)
 		writeJSON(w, http.StatusServiceUnavailable, struct {
-			Status   string            `json:"status"`
-			Reason   string            `json:"reason"`
-			Recovery *recoveryResponse `json:"recovery,omitempty"`
-		}{"loading", reason, recoveryJSON(s.recoveryInfo())})
+			Status      string            `json:"status"`
+			Reason      string            `json:"reason"`
+			Recovery    *recoveryResponse `json:"recovery,omitempty"`
+			Replication *replResponse     `json:"replication,omitempty"`
+		}{"loading", reason, recoveryJSON(s.recoveryInfo()), s.replJSON()})
+		return
+	}
+	if reason := s.replUnready(); reason != "" {
+		writeJSON(w, http.StatusServiceUnavailable, struct {
+			Status      string        `json:"status"`
+			Reason      string        `json:"reason"`
+			Replication *replResponse `json:"replication,omitempty"`
+		}{"lagging", reason, s.replJSON()})
 		return
 	}
 	writeJSON(w, http.StatusOK, struct {
-		Status    string            `json:"status"`
-		Points    int               `json:"points"`
-		Dim       int               `json:"dim"`
-		Fragments int               `json:"fragments"`
-		UptimeSec float64           `json:"uptime_seconds"`
-		Recovery  *recoveryResponse `json:"recovery,omitempty"`
-	}{"ok", ix.Len(), ix.Dim(), ix.Fragments(), time.Since(startTime).Seconds(), recoveryJSON(s.recoveryInfo())})
+		Status      string            `json:"status"`
+		Points      int               `json:"points"`
+		Dim         int               `json:"dim"`
+		Fragments   int               `json:"fragments"`
+		UptimeSec   float64           `json:"uptime_seconds"`
+		Recovery    *recoveryResponse `json:"recovery,omitempty"`
+		Replication *replResponse     `json:"replication,omitempty"`
+	}{"ok", ix.Len(), ix.Dim(), ix.Fragments(), time.Since(startTime).Seconds(), recoveryJSON(s.recoveryInfo()), s.replJSON()})
 }
 
 // handleLiveness reports that the process is up and serving HTTP — nothing
@@ -485,7 +561,21 @@ func mutationStatus(err error) int {
 	return http.StatusBadRequest
 }
 
+// mutable gates the mutation endpoints: a read-only follower answers 403
+// so misdirected writes fail loudly instead of forking the replica from
+// its primary (the read router forwards writes to the primary itself).
+func (s *Server) mutable(w http.ResponseWriter) bool {
+	if s.cfg.ReadOnly {
+		writeError(w, http.StatusForbidden, "read-only follower: writes must go to the primary")
+		return false
+	}
+	return true
+}
+
 func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	if !s.mutable(w) {
+		return
+	}
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", "POST")
 		writeError(w, http.StatusMethodNotAllowed, "use POST")
@@ -515,6 +605,9 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 // point (see nncell.InsertBatch for the amortization and atomicity
 // contract; against a sharded index atomicity is per shard).
 func (s *Server) handleInsertBatch(w http.ResponseWriter, r *http.Request) {
+	if !s.mutable(w) {
+		return
+	}
 	ps, _, ok := s.decodeBatch(w, r)
 	if !ok {
 		return
@@ -531,6 +624,9 @@ func (s *Server) handleInsertBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.mutable(w) {
+		return
+	}
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", "POST")
 		writeError(w, http.StatusMethodNotAllowed, "use POST")

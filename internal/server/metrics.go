@@ -19,6 +19,7 @@ var endpointNames = []string{
 	"nn", "knn", "candidates",
 	"nn_batch", "knn_batch", "candidates_batch",
 	"insert", "insert_batch", "delete",
+	"repl",
 }
 
 type endpointMetrics struct {
@@ -170,6 +171,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "nncell_ready %d\n", ready)
 	s.writeRecoveryMetrics(w)
 	s.writeCacheMetrics(w)
+	s.writeReplMetrics(w)
 	if ix == nil {
 		// The index sections below need an index; during recovery the
 		// surface stops here (plus whatever recovery progress exists).
@@ -201,6 +203,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP nncell_stale_cells Cells marked stale by lazy repair, still serving superset MBRs.\n")
 	fmt.Fprintf(w, "# TYPE nncell_stale_cells gauge\n")
 	fmt.Fprintf(w, "nncell_stale_cells %d\n", ist.StaleCells)
+	fmt.Fprintf(w, "# HELP nncell_stale_cells_highwater Largest stale backlog reached (MaxStaleCells backpressure headroom).\n")
+	fmt.Fprintf(w, "# TYPE nncell_stale_cells_highwater gauge\n")
+	fmt.Fprintf(w, "nncell_stale_cells_highwater %d\n", ist.StaleCellsHighWater)
 	fmt.Fprintf(w, "# HELP nncell_repairs_total Stale cells re-approximated and committed by the repair pool.\n")
 	fmt.Fprintf(w, "# TYPE nncell_repairs_total counter\n")
 	fmt.Fprintf(w, "nncell_repairs_total{result=\"ok\"} %d\n", ist.Repairs)
@@ -359,6 +364,52 @@ func (s *Server) writeCacheMetrics(w http.ResponseWriter) {
 	fmt.Fprintf(w, "# HELP nncell_cache_epoch Current invalidation epoch.\n")
 	fmt.Fprintf(w, "# TYPE nncell_cache_epoch counter\n")
 	fmt.Fprintf(w, "nncell_cache_epoch %d\n", st.Epoch)
+}
+
+// writeReplMetrics emits the replication series when this server is a
+// follower: lag gauges (the quantities the lag SLO is enforced over),
+// bootstrap counters, and per-log apply positions. Emitted before the
+// index sections so a still-bootstrapping follower already exports its
+// progress. Absent series = not a follower.
+func (s *Server) writeReplMetrics(w http.ResponseWriter) {
+	f := s.cfg.Follower
+	if f == nil {
+		return
+	}
+	st := f.Stats()
+	boot := 0
+	if st.Bootstrapped {
+		boot = 1
+	}
+	fmt.Fprintf(w, "# HELP nncell_repl_bootstrapped Whether a primary snapshot has been loaded and installed.\n")
+	fmt.Fprintf(w, "# TYPE nncell_repl_bootstrapped gauge\n")
+	fmt.Fprintf(w, "nncell_repl_bootstrapped %d\n", boot)
+	fmt.Fprintf(w, "# HELP nncell_repl_bootstraps_total Snapshot loads (1 = initial; more = re-bootstraps).\n")
+	fmt.Fprintf(w, "# TYPE nncell_repl_bootstraps_total counter\n")
+	fmt.Fprintf(w, "nncell_repl_bootstraps_total %d\n", st.Bootstraps)
+	fmt.Fprintf(w, "# HELP nncell_repl_lag_records Durable primary records not yet applied, summed over logs.\n")
+	fmt.Fprintf(w, "# TYPE nncell_repl_lag_records gauge\n")
+	fmt.Fprintf(w, "nncell_repl_lag_records %d\n", st.LagRecords)
+	fmt.Fprintf(w, "# HELP nncell_repl_lag_seconds How long the follower has been behind (0 when caught up).\n")
+	fmt.Fprintf(w, "# TYPE nncell_repl_lag_seconds gauge\n")
+	fmt.Fprintf(w, "nncell_repl_lag_seconds %g\n", st.LagSeconds)
+	if len(st.Positions) > 0 {
+		fmt.Fprintf(w, "# HELP nncell_repl_apply_segment WAL segment the follower is applying, per log.\n")
+		fmt.Fprintf(w, "# TYPE nncell_repl_apply_segment gauge\n")
+		for _, p := range st.Positions {
+			fmt.Fprintf(w, "nncell_repl_apply_segment{log=\"%d\"} %d\n", p.Log, p.Segment)
+		}
+		fmt.Fprintf(w, "# HELP nncell_repl_apply_offset Byte offset within that segment, per log.\n")
+		fmt.Fprintf(w, "# TYPE nncell_repl_apply_offset gauge\n")
+		for _, p := range st.Positions {
+			fmt.Fprintf(w, "nncell_repl_apply_offset{log=\"%d\"} %d\n", p.Log, p.Offset)
+		}
+		fmt.Fprintf(w, "# HELP nncell_repl_applied_records_total Shipped records fed through the idempotent replay path, per log.\n")
+		fmt.Fprintf(w, "# TYPE nncell_repl_applied_records_total counter\n")
+		for _, p := range st.Positions {
+			fmt.Fprintf(w, "nncell_repl_applied_records_total{log=\"%d\"} %d\n", p.Log, p.Processed)
+		}
+	}
 }
 
 // writeRecoveryMetrics emits the startup-recovery counters once SetRecovery

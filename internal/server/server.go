@@ -27,6 +27,7 @@ import (
 	"repro/internal/iofault"
 	"repro/internal/nncell"
 	"repro/internal/pager"
+	"repro/internal/replica"
 	"repro/internal/rescache"
 	"repro/internal/vec"
 )
@@ -66,6 +67,12 @@ type shardWALRotator interface {
 	CompactWAL(cuts []uint64) error
 }
 
+// FollowerStats is what the serving layer needs from a replication
+// follower: a point-in-time progress snapshot for readiness and /metrics.
+type FollowerStats interface {
+	Stats() replica.Stats
+}
+
 // Config tunes the serving layer. The zero value serves with the documented
 // defaults.
 type Config struct {
@@ -103,6 +110,26 @@ type Config struct {
 	// wires both ends. Handlers keep per-endpoint hit/miss counters and
 	// /metrics exposes the nncell_cache_* series. Nil disables caching.
 	Cache *rescache.Cache
+	// ReadOnly makes every mutation endpoint answer 403: follower mode.
+	// Writes belong on the primary; the read router forwards them there.
+	ReadOnly bool
+	// ReplSource, if non-nil, is mounted at /v1/repl/ so followers can
+	// bootstrap from and tail this server's WAL (primary mode).
+	ReplSource *replica.Source
+	// Follower, if non-nil, folds replication lag into readiness and
+	// /metrics (follower mode): /healthz answers 503 until the follower
+	// has bootstrapped and whenever lag exceeds the SLO below. The read
+	// router's health probes key on exactly this signal, so "shed reads to
+	// the primary" happens precisely when every follower is over SLO.
+	// *replica.Follower satisfies this.
+	Follower FollowerStats
+	// LagSLORecords / LagSLOSeconds bound how stale a READY follower may
+	// report itself: readiness fails when the apply position trails the
+	// primary by more than LagSLORecords records, or when lag has persisted
+	// longer than LagSLOSeconds. Zero disables that axis (a follower with
+	// both zero is ready as soon as it bootstraps).
+	LagSLORecords uint64
+	LagSLOSeconds float64
 }
 
 func (c *Config) normalize() {
@@ -157,6 +184,7 @@ type Server struct {
 	ixv      atomic.Value // *ixBox; ix == nil until ready
 	reason   atomic.Value // string: why not ready
 	recovery atomic.Value // *RecoveryInfo
+	replSrc  atomic.Value // *replica.Source; nil until primary mode is enabled
 
 	cfg   Config
 	m     *metrics
@@ -199,6 +227,13 @@ func New(ix Index, cfg Config) *Server {
 	s.mux.Handle("/v1/insert", s.instrument("insert", true, s.handleInsert))
 	s.mux.Handle("/v1/insert/batch", s.instrument("insert_batch", true, s.handleInsertBatch))
 	s.mux.Handle("/v1/delete", s.instrument("delete", true, s.handleDelete))
+	// Not admission-limited: snapshot transfers are long-lived bulk streams
+	// and the segment stream long-polls — neither should hold (or be shed
+	// by) a query admission slot. 404 until a source is installed.
+	s.mux.Handle("/v1/repl/", s.instrument("repl", false, s.handleRepl))
+	if cfg.ReplSource != nil {
+		s.replSrc.Store(cfg.ReplSource)
+	}
 
 	s.hs = &http.Server{
 		Handler:           s.mux,
@@ -237,6 +272,21 @@ func (s *Server) SetNotReady(reason string) {
 	if s.index() == nil {
 		s.reason.Store(reason)
 	}
+}
+
+// SetReplSource enables primary mode after construction: the serve command
+// can only build the Source once the WAL is attached, which happens long
+// after the server starts listening for liveness probes.
+func (s *Server) SetReplSource(src *replica.Source) {
+	if src != nil {
+		s.replSrc.Store(src)
+	}
+}
+
+// replSource returns the installed replication source, or nil.
+func (s *Server) replSource() *replica.Source {
+	src, _ := s.replSrc.Load().(*replica.Source)
+	return src
 }
 
 // SetRecovery records what startup recovery did, for /healthz and /metrics.

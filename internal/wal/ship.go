@@ -1,0 +1,153 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"path/filepath"
+)
+
+// Segment shipping: replication treats the log as its transfer unit. A
+// primary exposes which segments exist and how many of their bytes are safe
+// to ship (SegmentsInfo), and a follower re-parses the shipped byte stream
+// into whole records with a Cursor. Only the DURABLE prefix of the active
+// segment is ever shippable — bytes the primary has written but not fsynced
+// can vanish in its crash, and a follower that applied them would hold a
+// record the acknowledged history never contained.
+
+// SegmentInfo describes one on-disk segment for shipping.
+type SegmentInfo struct {
+	// Seq is the segment sequence number.
+	Seq uint64 `json:"seq"`
+	// Size is the shippable byte count: the durable prefix for the active
+	// segment, the full file size for sealed ones. Sealed segments from a
+	// crashed lifetime may end in a torn tail; the size includes it, and the
+	// consumer's whole-record parsing discards it (exactly as Replay does).
+	Size int64 `json:"size"`
+	// Sealed reports that the segment will never grow again.
+	Sealed bool `json:"sealed"`
+}
+
+// ShipInfo is one log's replication manifest.
+type ShipInfo struct {
+	// Segments lists the shippable segments, ascending by sequence number.
+	Segments []SegmentInfo `json:"segments"`
+	// DurableAppends counts records appended and made durable this process
+	// lifetime. Replication lag in records is computed against this counter:
+	// every record in segments at or above a Rotate cut is an append of this
+	// lifetime, so (DurableAppends at now) − (DurableAppends at the cut) −
+	// (records the follower processed from those segments) is the number of
+	// durable records the follower has not seen yet.
+	DurableAppends uint64 `json:"durable_appends"`
+}
+
+// SegmentPath returns the path of segment seq inside the log directory dir.
+func SegmentPath(dir string, seq uint64) string {
+	return filepath.Join(dir, segName(seq))
+}
+
+// SegmentsInfo returns the log's shipping manifest. Sealed segments report
+// their full on-disk size; the active segment reports only its durable
+// prefix (under Policy SyncNever that prefix stays at the header until the
+// segment rotates, so replication effectively requires always or interval).
+func (l *Log) SegmentsInfo() (ShipInfo, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	seqs, err := listSegments(l.opts.FS, l.dir)
+	if err != nil {
+		return ShipInfo{}, fmt.Errorf("wal: segments info: %w", err)
+	}
+	info := ShipInfo{DurableAppends: l.durRecs}
+	for _, seq := range seqs {
+		if seq == l.seq {
+			info.Segments = append(info.Segments, SegmentInfo{Seq: seq, Size: l.synced})
+			continue
+		}
+		size, err := l.opts.FS.Size(filepath.Join(l.dir, segName(seq)))
+		if err != nil {
+			return ShipInfo{}, fmt.Errorf("wal: segments info: sizing segment %d: %w", seq, err)
+		}
+		info.Segments = append(info.Segments, SegmentInfo{Seq: seq, Size: size, Sealed: true})
+	}
+	return info, nil
+}
+
+// Cursor incrementally parses one segment's byte stream into whole records.
+// Feed it chunks in arrival order and drain Next after every Feed; it
+// consumes the 8-byte segment header and then complete, CRC-valid frames
+// only, so its Offset always lands on a record boundary (or inside the
+// header) no matter where the incoming stream is cut. That property is what
+// the shipping path's crash-safety rests on: a transfer torn at any byte
+// offset leaves the consumer at its previous whole-record position.
+type Cursor struct {
+	off       int64 // consumed bytes: header + whole frames
+	buf       []byte
+	headerOK  bool
+	corrupted bool
+}
+
+// Offset returns the consumed position: the byte offset just past the last
+// whole record parsed (or within [0, len(header)] before the first).
+func (c *Cursor) Offset() int64 { return c.off }
+
+// Buffered returns how many fed bytes await a complete frame. The next
+// stream fetch should start at Offset()+Buffered().
+func (c *Cursor) Buffered() int { return len(c.buf) }
+
+// Feed appends newly arrived segment bytes.
+func (c *Cursor) Feed(data []byte) { c.buf = append(c.buf, data...) }
+
+// Next parses the next whole record from the buffered bytes.
+//
+//   - (rec, true, nil): one complete, valid record was consumed.
+//   - (_, false, nil): the buffered bytes are a valid prefix but no complete
+//     record is available — feed more. If the segment is sealed and fully
+//     fetched, this is a torn tail: discard the remainder and move on,
+//     exactly as Replay does.
+//   - (_, false, err): the buffered bytes can never become a valid record
+//     (bad header magic, implausible length, CRC or format failure on a
+//     complete frame). For a sealed segment's tail this too is just a tear;
+//     for an active segment's durable prefix it means corruption in flight.
+func (c *Cursor) Next() (Record, bool, error) {
+	if c.corrupted {
+		return Record{}, false, fmt.Errorf("wal: cursor past corrupt frame at offset %d", c.off)
+	}
+	if !c.headerOK {
+		if len(c.buf) < len(segMagic) {
+			return Record{}, false, nil
+		}
+		if string(c.buf[:len(segMagic)]) != segMagic {
+			c.corrupted = true
+			return Record{}, false, fmt.Errorf("wal: segment stream does not start with the %q header", segMagic)
+		}
+		c.buf = c.buf[len(segMagic):]
+		c.off += int64(len(segMagic))
+		c.headerOK = true
+	}
+	if len(c.buf) < frameBytes {
+		return Record{}, false, nil
+	}
+	le := binary.LittleEndian
+	length := le.Uint32(c.buf[0:4])
+	if length == 0 || length > MaxRecordBytes {
+		c.corrupted = true
+		return Record{}, false, fmt.Errorf("wal: implausible frame length %d at offset %d", length, c.off)
+	}
+	if int(length) > len(c.buf)-frameBytes {
+		return Record{}, false, nil
+	}
+	payload := c.buf[frameBytes : frameBytes+int(length)]
+	if crc32.Checksum(payload, crcTable) != le.Uint32(c.buf[4:8]) {
+		c.corrupted = true
+		return Record{}, false, fmt.Errorf("wal: frame checksum mismatch at offset %d", c.off)
+	}
+	rec, err := decodePayload(payload)
+	if err != nil {
+		c.corrupted = true
+		return Record{}, false, fmt.Errorf("wal: undecodable frame at offset %d: %w", c.off, err)
+	}
+	consumed := frameBytes + int(length)
+	c.buf = c.buf[consumed:]
+	c.off += int64(consumed)
+	return rec, true, nil
+}

@@ -1,0 +1,307 @@
+package wal
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/iofault"
+)
+
+// TestSegmentsInfoDurablePrefix proves the manifest never offers bytes the
+// primary could lose: under SyncNever the active segment's shippable size
+// stays at the header until an explicit Sync.
+func TestSegmentsInfoDurablePrefix(t *testing.T) {
+	mem := iofault.NewMem()
+	l, err := Open("wal", Options{FS: mem, Policy: SyncNever})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer l.Close()
+	recs := testRecords(5, 3)
+	for _, r := range recs {
+		if err := l.Append(r); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	info, err := l.SegmentsInfo()
+	if err != nil {
+		t.Fatalf("SegmentsInfo: %v", err)
+	}
+	if len(info.Segments) != 1 {
+		t.Fatalf("segments = %d, want 1", len(info.Segments))
+	}
+	if got := info.Segments[0]; got.Size != int64(len(segMagic)) || got.Sealed {
+		t.Fatalf("unsynced active segment = %+v, want Size=%d Sealed=false", got, len(segMagic))
+	}
+	if info.DurableAppends != 0 {
+		t.Fatalf("DurableAppends = %d before sync, want 0", info.DurableAppends)
+	}
+
+	if err := l.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	info, err = l.SegmentsInfo()
+	if err != nil {
+		t.Fatalf("SegmentsInfo: %v", err)
+	}
+	written, _ := mem.Bytes(l.ActiveSegmentPath())
+	if got := info.Segments[0].Size; got != int64(len(written)) {
+		t.Fatalf("synced active segment size = %d, want full %d", got, len(written))
+	}
+	if info.DurableAppends != uint64(len(recs)) {
+		t.Fatalf("DurableAppends = %d, want %d", info.DurableAppends, len(recs))
+	}
+}
+
+// TestSegmentsInfoSealed checks that rotation moves a segment to the sealed
+// list at its full size and that SegmentPath agrees with the log's naming.
+func TestSegmentsInfoSealed(t *testing.T) {
+	mem := iofault.NewMem()
+	l, err := Open("wal", Options{FS: mem})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer l.Close()
+	recs := testRecords(6, 3)
+	for _, r := range recs[:4] {
+		if err := l.Append(r); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	sealedPath := l.ActiveSegmentPath()
+	cut, err := l.Rotate()
+	if err != nil {
+		t.Fatalf("Rotate: %v", err)
+	}
+	for _, r := range recs[4:] {
+		if err := l.Append(r); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	info, err := l.SegmentsInfo()
+	if err != nil {
+		t.Fatalf("SegmentsInfo: %v", err)
+	}
+	if len(info.Segments) != 2 {
+		t.Fatalf("segments = %+v, want 2", info.Segments)
+	}
+	sealed, active := info.Segments[0], info.Segments[1]
+	if !sealed.Sealed || active.Sealed {
+		t.Fatalf("sealed flags wrong: %+v", info.Segments)
+	}
+	if active.Seq != cut {
+		t.Fatalf("active seq = %d, want rotate cut %d", active.Seq, cut)
+	}
+	sealedBytes, _ := mem.Bytes(sealedPath)
+	if sealed.Size != int64(len(sealedBytes)) {
+		t.Fatalf("sealed size = %d, want %d", sealed.Size, len(sealedBytes))
+	}
+	if got := SegmentPath(l.Dir(), sealed.Seq); got != sealedPath {
+		t.Fatalf("SegmentPath = %q, want %q", got, sealedPath)
+	}
+	if info.DurableAppends != uint64(len(recs)) {
+		t.Fatalf("DurableAppends = %d, want %d", info.DurableAppends, len(recs))
+	}
+}
+
+// segmentImage appends recs under SyncAlways and returns the raw segment
+// bytes plus every valid cursor resting offset: 0 (nothing consumed), the
+// header boundary, and each record end.
+func segmentImage(t *testing.T, recs []Record) (data []byte, boundaries []int64) {
+	t.Helper()
+	mem := iofault.NewMem()
+	l, err := Open("wal", Options{FS: mem})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for _, r := range recs {
+		if err := l.Append(r); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	path := l.ActiveSegmentPath()
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	data, ok := mem.Bytes(path)
+	if !ok {
+		t.Fatalf("segment %s missing", path)
+	}
+	var c Cursor
+	c.Feed(data)
+	boundaries = []int64{0, int64(len(segMagic))}
+	for {
+		_, ok, err := c.Next()
+		if err != nil {
+			t.Fatalf("Cursor.Next on clean segment: %v", err)
+		}
+		if !ok {
+			break
+		}
+		boundaries = append(boundaries, c.Offset())
+	}
+	if c.Offset() != int64(len(data)) {
+		t.Fatalf("full parse consumed %d of %d bytes", c.Offset(), len(data))
+	}
+	return data, boundaries
+}
+
+// TestCursorRoundTrip replays a segment byte stream through the cursor in
+// awkward chunk sizes and checks bitwise record fidelity.
+func TestCursorRoundTrip(t *testing.T) {
+	recs := testRecords(40, 4)
+	data, _ := segmentImage(t, recs)
+	var c Cursor
+	var got []Record
+	for i, step := 0, 1; i < len(data); i, step = i+step, (step*3+1)%17+1 {
+		end := i + step
+		if end > len(data) {
+			end = len(data)
+		}
+		c.Feed(data[i:end])
+		for {
+			rec, ok, err := c.Next()
+			if err != nil {
+				t.Fatalf("Next at offset %d: %v", c.Offset(), err)
+			}
+			if !ok {
+				break
+			}
+			got = append(got, rec)
+		}
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("parsed %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if !recordsEqual(got[i], recs[i]) {
+			t.Fatalf("record %d mismatch: got %+v want %+v", i, got[i], recs[i])
+		}
+	}
+	if c.Buffered() != 0 || c.Offset() != int64(len(data)) {
+		t.Fatalf("cursor end state off=%d buffered=%d, want %d/0", c.Offset(), c.Buffered(), len(data))
+	}
+}
+
+// TestCursorEveryOffsetTruncation is the shipping-path crash matrix: a
+// transfer cut at ANY byte offset must leave the cursor parked exactly on a
+// whole-record boundary with exactly the records wholly contained in the
+// prefix — never a torn or phantom record, and never an error (a clean
+// prefix is indistinguishable from a slow stream).
+func TestCursorEveryOffsetTruncation(t *testing.T) {
+	recs := testRecords(8, 3)
+	data, boundaries := segmentImage(t, recs)
+	onBoundary := make(map[int64]int) // offset -> records wholly before it
+	for i, b := range boundaries {
+		n := i - 1 // boundaries[0]=0 and [1]=header precede any record
+		if n < 0 {
+			n = 0
+		}
+		onBoundary[b] = n
+	}
+	for cut := 0; cut <= len(data); cut++ {
+		var c Cursor
+		c.Feed(data[:cut])
+		parsed := 0
+		for {
+			_, ok, err := c.Next()
+			if err != nil {
+				t.Fatalf("cut %d: Next: %v", cut, err)
+			}
+			if !ok {
+				break
+			}
+			parsed++
+		}
+		want, ok := onBoundary[c.Offset()]
+		if !ok {
+			t.Fatalf("cut %d: cursor rests at %d, not a record boundary", cut, c.Offset())
+		}
+		if parsed != want {
+			t.Fatalf("cut %d: parsed %d records at offset %d, want %d", cut, parsed, c.Offset(), want)
+		}
+		// The cursor must consume maximally: the next boundary is past the cut.
+		for _, b := range boundaries {
+			if b > c.Offset() && b <= int64(cut) {
+				t.Fatalf("cut %d: cursor stopped at %d short of reachable boundary %d", cut, c.Offset(), b)
+			}
+		}
+	}
+}
+
+// TestCursorCorruption: flipped payload bytes and a bad header are terminal
+// errors, and the cursor stays latched.
+func TestCursorCorruption(t *testing.T) {
+	recs := testRecords(3, 3)
+	data, boundaries := segmentImage(t, recs)
+	flipped := append([]byte(nil), data...)
+	flipped[boundaries[1]+frameBytes] ^= 0xff // first byte of record 1's payload
+	var c Cursor
+	c.Feed(flipped)
+	if _, ok, err := c.Next(); ok || err == nil {
+		t.Fatalf("Next on corrupt frame = (%v, %v), want error", ok, err)
+	}
+	if _, ok, err := c.Next(); ok || err == nil {
+		t.Fatalf("cursor unlatched after corruption: (%v, %v)", ok, err)
+	}
+
+	var h Cursor
+	h.Feed([]byte("NOTAWAL!rest"))
+	if _, ok, err := h.Next(); ok || err == nil {
+		t.Fatalf("Next on bad magic = (%v, %v), want error", ok, err)
+	}
+}
+
+// TestErrUnavailableCause is the latching bugfix's contract: the latched
+// error answers errors.Is for BOTH ErrUnavailable and the underlying cause,
+// on the failing call and on every later latched call.
+func TestErrUnavailableCause(t *testing.T) {
+	mem := iofault.NewMem()
+	l, err := Open("wal", Options{FS: mem})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer l.Close()
+	rec := testRecords(1, 3)[0]
+	if err := l.Append(rec); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	mem.FailWritesAfter(l.ActiveSegmentPath(), 0, nil) // injects iofault.ErrNoSpace
+	err = l.Append(rec)
+	if err == nil {
+		t.Fatal("Append under write fault succeeded")
+	}
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("err %v does not wrap ErrUnavailable", err)
+	}
+	if !errors.Is(err, iofault.ErrNoSpace) {
+		t.Fatalf("err %v does not wrap the iofault.ErrNoSpace cause", err)
+	}
+	// The latch replays the same chain on every later call.
+	err = l.Append(rec)
+	if !errors.Is(err, ErrUnavailable) || !errors.Is(err, iofault.ErrNoSpace) {
+		t.Fatalf("latched err %v lost part of its chain", err)
+	}
+}
+
+// TestErrUnavailableSyncCause: a failed fsync latches with its own cause on
+// the chain, distinguishable from a write fault.
+func TestErrUnavailableSyncCause(t *testing.T) {
+	mem := iofault.NewMem()
+	l, err := Open("wal", Options{FS: mem})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer l.Close()
+	mem.FailSync(l.ActiveSegmentPath(), nil) // injects iofault.ErrSyncFailed
+	err = l.Append(testRecords(1, 3)[0])
+	if err == nil {
+		t.Fatal("Append under sync fault succeeded")
+	}
+	if !errors.Is(err, ErrUnavailable) || !errors.Is(err, iofault.ErrSyncFailed) {
+		t.Fatalf("err %v should wrap both ErrUnavailable and ErrSyncFailed", err)
+	}
+	if errors.Is(err, iofault.ErrNoSpace) {
+		t.Fatalf("err %v claims a write fault it did not have", err)
+	}
+}

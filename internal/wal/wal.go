@@ -153,6 +153,9 @@ type Log struct {
 	f      iofault.File
 	seq    uint64 // active segment sequence number
 	size   int64  // bytes written to the active segment
+	synced int64  // durable prefix of the active segment (last successful Sync)
+	recs   uint64 // records appended this lifetime
+	durRecs uint64 // records appended AND made durable this lifetime
 	dirty  bool   // unsynced appends outstanding
 	failed error  // sticky failure, wraps ErrUnavailable
 	buf    []byte // frame scratch, reused across appends
@@ -256,6 +259,7 @@ func (l *Log) openSegmentLocked() error {
 	}
 	l.f = f
 	l.size = int64(len(segMagic))
+	l.synced = l.size // the header was just fsynced
 	l.dirty = false
 	return nil
 }
@@ -270,9 +274,13 @@ func (l *Log) ActiveSegmentPath() string {
 	return filepath.Join(l.dir, segName(l.seq))
 }
 
+// failLocked latches the sticky failure state. The underlying cause stays on
+// the error chain (both ErrUnavailable and the cause answer errors.Is), so
+// retry logic and operators can tell disk-full from an injected fault from a
+// short write without string matching.
 func (l *Log) failLocked(err error) {
 	if l.failed == nil {
-		l.failed = fmt.Errorf("%w: %v", ErrUnavailable, err)
+		l.failed = fmt.Errorf("%w: %w", ErrUnavailable, err)
 	}
 }
 
@@ -313,6 +321,7 @@ func (l *Log) Append(rec Record) error {
 		return l.failed
 	}
 	l.dirty = true
+	l.recs++
 	l.stats.appends.Add(1)
 	l.stats.bytes.Add(uint64(len(b)))
 	if l.opts.Policy == SyncAlways {
@@ -345,6 +354,8 @@ func (l *Log) syncLocked() error {
 		return l.failed
 	}
 	l.dirty = false
+	l.synced = l.size
+	l.durRecs = l.recs
 	l.stats.syncs.Add(1)
 	return nil
 }
